@@ -1,0 +1,83 @@
+// The allgather design space the paper's contribution lives in: standalone
+// equal-block allgather via the enclosed ring, Bruck's log-step algorithm,
+// and neighbor exchange, simulated across block sizes on a Hornet-like
+// node pair. (The tuned ring is a BROADCAST-side optimization — it needs
+// the binomial scatter's surplus blocks — so the broadcast shoot-out lives
+// in bench_ablation_algorithms; this bench positions the substrate ring
+// against its standalone competitors.)
+#include <functional>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bsbutil/format.hpp"
+#include "bsbutil/table.hpp"
+#include "coll/allgather_bruck.hpp"
+#include "coll/allgather_neighbor_exchange.hpp"
+#include "coll/allgather_ring_native.hpp"
+#include "comm/chunks.hpp"
+
+using namespace bsb;
+using namespace bsb::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const int P = 48;  // even and npof2: all three variants apply
+  const Topology topo = Topology::hornet(P);
+
+  struct Algo {
+    const char* name;
+    std::function<void(Comm&, std::span<std::byte>, std::uint64_t)> run;
+  };
+  const std::vector<Algo> algos{
+      {"ring (P-1 steps)",
+       [&](Comm& c, std::span<std::byte> b, std::uint64_t block) {
+         // Standalone ring: rank r owns block r — exactly the enclosed ring
+         // over a trivial (everyone-owns-one-chunk) layout.
+         coll::allgather_ring_native(c, b, 0, ChunkLayout(P * block, P));
+       }},
+      {"bruck (log P steps)",
+       [](Comm& c, std::span<std::byte> b, std::uint64_t block) {
+         coll::allgather_bruck(c, b, block);
+       }},
+      {"neighbor-exchange (P/2 steps)",
+       [](Comm& c, std::span<std::byte> b, std::uint64_t block) {
+         coll::allgather_neighbor_exchange(c, b, block);
+       }},
+  };
+
+  std::vector<std::uint64_t> blocks{256, 2048, 16384, 131072};
+  if (opt.quick) blocks = {2048};
+
+  std::cout << "Standalone allgather variants, np=" << P << " ("
+            << topo.describe() << ")\ntime per allgather; best per row marked *\n\n";
+
+  std::vector<std::string> header{"block size", "total data"};
+  for (const Algo& a : algos) header.push_back(a.name);
+  Table t(std::move(header));
+
+  for (std::uint64_t block : blocks) {
+    const int iters = opt.quick ? 3 : 8;
+    netsim::SimSpec spec{topo, netsim::CostModel::hornet(), iters};
+    std::vector<double> secs;
+    for (const Algo& a : algos) {
+      const auto r = netsim::simulate_program(
+          P, P * block,
+          [&](Comm& comm, std::span<std::byte> buffer) {
+            a.run(comm, buffer, block);
+          },
+          spec);
+      secs.push_back(r.seconds / iters);
+    }
+    const double best = *std::min_element(secs.begin(), secs.end());
+    std::vector<std::string> row{format_bytes(block),
+                                 format_bytes(P * block)};
+    for (double v : secs) row.push_back(format_time(v) + (v == best ? "*" : ""));
+    t.add(std::move(row));
+  }
+  std::cout << t.render()
+            << "\nReading: small blocks favour the log-step and half-step "
+               "algorithms (fewer messages); the ring catches up for large "
+               "blocks where bandwidth, not message count, dominates — the "
+               "same trade the paper's broadcast path navigates.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bsbutil/ascii_plot.hpp"
+#include "bsbutil/csv.hpp"
+#include "bsbutil/format.hpp"
+#include "bsbutil/table.hpp"
+#include "bsbutil/units.hpp"
+
+namespace bsb::bench {
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--csv-dir" && i + 1 < argc) {
+      opt.csv_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--csv-dir <dir>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+netsim::SimResult simulate_algorithm(core::BcastAlgorithm algo, int nranks,
+                                     std::uint64_t nbytes, int root,
+                                     const netsim::SimSpec& spec) {
+  return netsim::simulate_program(
+      nranks, nbytes,
+      [&](Comm& comm, std::span<std::byte> buffer) {
+        core::run_bcast_algorithm(algo, comm, buffer, root);
+      },
+      spec);
+}
+
+Comparison compare_ring_bcasts(int nranks, std::uint64_t nbytes, int root,
+                               const netsim::SimSpec& spec) {
+  Comparison c;
+  c.nbytes = nbytes;
+  c.native = simulate_algorithm(core::BcastAlgorithm::ScatterRingNative, nranks,
+                                nbytes, root, spec);
+  c.tuned = simulate_algorithm(core::BcastAlgorithm::ScatterRingTuned, nranks,
+                               nbytes, root, spec);
+  return c;
+}
+
+void print_bandwidth_comparison(const std::string& title,
+                                const std::vector<Comparison>& rows) {
+  Table t({"msg size", "native MB/s", "tuned MB/s", "improvement",
+           "msgs native", "msgs tuned"});
+  double peak_native = 0, peak_tuned = 0, best = 0;
+  for (const Comparison& c : rows) {
+    t.add({format_bytes(c.nbytes), format_mbps(c.native.bandwidth),
+           format_mbps(c.tuned.bandwidth), format_percent(c.improvement()),
+           std::to_string(c.native.traffic.msgs),
+           std::to_string(c.tuned.traffic.msgs)});
+    peak_native = std::max(peak_native, c.native.bandwidth);
+    peak_tuned = std::max(peak_tuned, c.tuned.bandwidth);
+    best = std::max(best, c.improvement());
+  }
+  std::cout << "== " << title << " ==\n"
+            << t.render() << "peak: native " << format_mbps(peak_native)
+            << " MB/s, tuned " << format_mbps(peak_tuned) << " MB/s ("
+            << format_percent(peak_tuned / peak_native - 1.0)
+            << "); best per-size improvement " << format_percent(best) << "\n\n";
+}
+
+void print_bandwidth_plot(const std::string& title,
+                          const std::vector<Comparison>& rows) {
+  Series native{"MPI_Bcast_native", 'o', {}, {}};
+  Series tuned{"MPI_Bcast_opt", '*', {}, {}};
+  for (const Comparison& c : rows) {
+    native.x.push_back(static_cast<double>(c.nbytes));
+    native.y.push_back(c.native.bandwidth / static_cast<double>(MiB));
+    tuned.x.push_back(static_cast<double>(c.nbytes));
+    tuned.y.push_back(c.tuned.bandwidth / static_cast<double>(MiB));
+  }
+  PlotOptions opt;
+  opt.title = title;
+  opt.x_label = "message size (bytes)";
+  opt.y_label = "bandwidth (MB/s)";
+  std::cout << render_plot({native, tuned}, opt) << "\n";
+}
+
+void maybe_write_csv(const Options& opt, const std::string& name,
+                     const std::vector<Comparison>& rows, int nranks) {
+  if (opt.csv_dir.empty()) return;
+  CsvWriter csv(opt.csv_dir + "/" + name + ".csv");
+  csv.row({"nranks", "nbytes", "native_mbps", "tuned_mbps", "improvement",
+           "native_msgs", "tuned_msgs", "native_inter_msgs", "tuned_inter_msgs"});
+  for (const Comparison& c : rows) {
+    csv.row({std::to_string(nranks), std::to_string(c.nbytes),
+             format_mbps(c.native.bandwidth, 3), format_mbps(c.tuned.bandwidth, 3),
+             format_fixed(c.improvement(), 5),
+             std::to_string(c.native.traffic.msgs),
+             std::to_string(c.tuned.traffic.msgs),
+             std::to_string(c.native.traffic.inter_msgs),
+             std::to_string(c.tuned.traffic.inter_msgs)});
+  }
+  std::cout << "(csv written: " << opt.csv_dir << "/" << name << ".csv)\n";
+}
+
+std::vector<std::uint64_t> fig6_sizes(bool quick) {
+  std::vector<std::uint64_t> sizes;
+  for (int e = 19; e <= 25; e += quick ? 3 : 1) {
+    sizes.push_back(std::uint64_t{1} << e);
+  }
+  return sizes;
+}
+
+}  // namespace bsb::bench

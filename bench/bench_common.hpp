@@ -1,0 +1,66 @@
+// Shared plumbing for the figure-reproduction benchmark harnesses: run the
+// native vs. tuned broadcasts through the cluster simulator, print
+// paper-style tables and ASCII plots, and optionally dump CSVs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/topology.hpp"
+#include "core/bcast.hpp"
+#include "netsim/sim.hpp"
+
+namespace bsb::bench {
+
+struct Options {
+  /// Shrink sweeps and iteration counts (smoke-testing in CI).
+  bool quick = false;
+  /// Directory for CSV result files; empty = no CSVs.
+  std::string csv_dir;
+};
+
+/// Parse --quick and --csv-dir <dir>; exits with usage on unknown flags.
+Options parse_options(int argc, char** argv);
+
+/// Run one bcast algorithm through the simulator.
+netsim::SimResult simulate_algorithm(core::BcastAlgorithm algo, int nranks,
+                                     std::uint64_t nbytes, int root,
+                                     const netsim::SimSpec& spec);
+
+struct Comparison {
+  std::uint64_t nbytes = 0;
+  netsim::SimResult native;
+  netsim::SimResult tuned;
+
+  double improvement() const {
+    return native.bandwidth > 0 ? tuned.bandwidth / native.bandwidth - 1.0 : 0.0;
+  }
+  double speedup() const {
+    return native.throughput > 0 ? tuned.throughput / native.throughput : 0.0;
+  }
+};
+
+/// Native vs tuned scatter-ring-allgather broadcast at one design point.
+Comparison compare_ring_bcasts(int nranks, std::uint64_t nbytes, int root,
+                               const netsim::SimSpec& spec);
+
+/// Paper-style bandwidth table (MB/s base-2, as in the figures) plus the
+/// peak-bandwidth summary sentence used in §V-A.
+void print_bandwidth_comparison(const std::string& title,
+                                const std::vector<Comparison>& rows);
+
+/// Two-series log-log ASCII plot of bandwidth vs message size.
+void print_bandwidth_plot(const std::string& title,
+                          const std::vector<Comparison>& rows);
+
+/// Dump rows to <csv_dir>/<name>.csv when csv_dir is set.
+void maybe_write_csv(const Options& opt, const std::string& name,
+                     const std::vector<Comparison>& rows, int nranks);
+
+/// Long-message sizes 2^19 .. 2^25 (Fig. 6's x-axis).
+std::vector<std::uint64_t> fig6_sizes(bool quick);
+
+}  // namespace bsb::bench

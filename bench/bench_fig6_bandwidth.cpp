@@ -1,0 +1,39 @@
+// Figure 6 reproduction: broadcast bandwidth vs. message size for LONG
+// messages with power-of-two process counts (16, 64, 256) on a Hornet-like
+// cluster (24-core nodes, block placement), comparing MPI_Bcast_native
+// (binomial scatter + enclosed ring allgather) against MPI_Bcast_opt
+// (binomial scatter + the paper's tuned ring allgather).
+//
+// Paper reference points: up to 12% improvement at np=16 (intra-node only),
+// up to 41% at np=64, up to 20% at np=256; peak bandwidth 10-16% better.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bsbutil/format.hpp"
+
+using namespace bsb;
+using namespace bsb::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  std::cout << "Fig. 6: long-message broadcast bandwidth, power-of-two ranks\n"
+            << "cluster: Hornet-like, " << netsim::CostModel::hornet().describe()
+            << "\n\n";
+
+  for (int P : {16, 64, 256}) {
+    netsim::SimSpec spec{Topology::hornet(P), netsim::CostModel::hornet(),
+                         /*iters=*/opt.quick ? 2 : 4};
+    std::vector<Comparison> rows;
+    for (std::uint64_t nbytes : fig6_sizes(opt.quick)) {
+      rows.push_back(compare_ring_bcasts(P, nbytes, /*root=*/0, spec));
+    }
+    const std::string title =
+        "Fig 6(" + std::string(P == 16 ? "a" : P == 64 ? "b" : "c") +
+        "): np=" + std::to_string(P) + " (" + spec.topo.describe() + ")";
+    print_bandwidth_comparison(title, rows);
+    print_bandwidth_plot(title, rows);
+    maybe_write_csv(opt, "fig6_np" + std::to_string(P), rows, P);
+  }
+  return 0;
+}

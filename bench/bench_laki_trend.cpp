@@ -1,0 +1,44 @@
+// The paper evaluated on two systems and reports that "the results from
+// both Hornet and Laki basically deliver the same bandwidth performance
+// trend" (§V). This bench repeats the Fig. 6(b)-style sweep under the
+// Laki-like cost model (8-core Nehalem nodes, InfiniBand-class NIC,
+// 12288-byte eager cutoff) and prints both machines side by side.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bsbutil/format.hpp"
+#include "bsbutil/table.hpp"
+
+using namespace bsb;
+using namespace bsb::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const int P = 64;
+  const int iters = opt.quick ? 2 : 4;
+
+  std::cout << "Hornet vs Laki cost models, np=" << P
+            << " long-message broadcast (paper: same trend on both)\n"
+            << "hornet: " << netsim::CostModel::hornet().describe() << "\n"
+            << "laki  : " << netsim::CostModel::laki().describe() << "\n\n";
+
+  Table t({"msg size", "hornet native", "hornet tuned", "hornet impr",
+           "laki native", "laki tuned", "laki impr"});
+  bool same_trend = true;
+  for (std::uint64_t nbytes : fig6_sizes(opt.quick)) {
+    netsim::SimSpec hornet{Topology::hornet(P), netsim::CostModel::hornet(), iters};
+    netsim::SimSpec laki{Topology(P, 8, Placement::Block),
+                         netsim::CostModel::laki(), iters};
+    const Comparison h = compare_ring_bcasts(P, nbytes, 0, hornet);
+    const Comparison l = compare_ring_bcasts(P, nbytes, 0, laki);
+    t.add({format_bytes(nbytes), format_mbps(h.native.bandwidth),
+           format_mbps(h.tuned.bandwidth), format_percent(h.improvement()),
+           format_mbps(l.native.bandwidth), format_mbps(l.tuned.bandwidth),
+           format_percent(l.improvement())});
+    // "Same trend" = the tuned variant wins on both machines.
+    same_trend = same_trend && h.improvement() >= -0.001 && l.improvement() >= -0.001;
+  }
+  std::cout << t.render() << "\nsame trend on both machines: "
+            << (same_trend ? "YES (tuned >= native everywhere)" : "NO") << "\n";
+  return same_trend ? 0 : 1;
+}

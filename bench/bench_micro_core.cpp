@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks of the analysis/simulation pipeline:
+// ring-plan computation, schedule recording, matching, coverage validation,
+// discrete-event replay, and the fluid max-min solver. These bound how big
+// a sweep the figure harnesses can afford.
+#include <benchmark/benchmark.h>
+
+#include "coll/bcast_scatter_ring_native.hpp"
+#include "comm/topology.hpp"
+#include "core/bcast_scatter_ring_tuned.hpp"
+#include "core/ring_plan.hpp"
+#include "core/transfer_analysis.hpp"
+#include "netsim/fluid.hpp"
+#include "netsim/replay.hpp"
+#include "trace/coverage.hpp"
+#include "trace/match.hpp"
+#include "trace/record.hpp"
+
+using namespace bsb;
+
+namespace {
+
+void BM_RingPlan(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  int rel = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_ring_plan(rel, P));
+    rel = (rel + 1) % P;
+  }
+}
+BENCHMARK(BM_RingPlan)->Arg(8)->Arg(129)->Arg(4096);
+
+void BM_TunedSavingsClosedForm(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::tuned_ring_savings(P));
+  }
+}
+BENCHMARK(BM_TunedSavingsClosedForm)->Arg(129)->Arg(1024);
+
+void BM_RecordTunedBcast(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const std::uint64_t nbytes = 1 << 20;
+  for (auto _ : state) {
+    auto sched = trace::record_schedule(
+        P, nbytes, [](Comm& comm, std::span<std::byte> buffer) {
+          core::bcast_scatter_ring_tuned(comm, buffer, 0);
+        });
+    benchmark::DoNotOptimize(sched);
+  }
+}
+BENCHMARK(BM_RecordTunedBcast)->Arg(16)->Arg(129);
+
+void BM_MatchSchedule(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const auto sched = trace::record_schedule(
+      P, 1 << 20, [](Comm& comm, std::span<std::byte> buffer) {
+        coll::bcast_scatter_ring_native(comm, buffer, 0);
+      });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::match_schedule(sched));
+  }
+}
+BENCHMARK(BM_MatchSchedule)->Arg(16)->Arg(129);
+
+void BM_CoverageValidate(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const auto sched = trace::record_schedule(
+      P, 1 << 20, [](Comm& comm, std::span<std::byte> buffer) {
+        core::bcast_scatter_ring_tuned(comm, buffer, 0);
+      });
+  const auto m = trace::match_schedule(sched);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::validate_coverage(sched, m, 0));
+  }
+}
+BENCHMARK(BM_CoverageValidate)->Arg(16)->Arg(64);
+
+void BM_ReplayTunedBcast(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const auto sched = trace::record_schedule(
+      P, 1 << 20, [](Comm& comm, std::span<std::byte> buffer) {
+        core::bcast_scatter_ring_tuned(comm, buffer, 0);
+      });
+  const auto m = trace::match_schedule(sched);
+  const Topology topo = Topology::hornet(P);
+  const netsim::CostModel cost = netsim::CostModel::hornet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::replay_schedule(sched, m, topo, cost));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.msgs.size()));
+}
+BENCHMARK(BM_ReplayTunedBcast)->Arg(16)->Arg(64)->Arg(129);
+
+void BM_FluidMaxMin(benchmark::State& state) {
+  const int nflows = static_cast<int>(state.range(0));
+  netsim::FluidNetwork net(std::vector<double>(32, 1e10));
+  for (int i = 0; i < nflows; ++i) {
+    net.add_flow(1e6, {i % 32, 16 + (i / 2) % 16}, 8e9);
+  }
+  for (auto _ : state) {
+    net.recompute_rates();
+  }
+}
+BENCHMARK(BM_FluidMaxMin)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

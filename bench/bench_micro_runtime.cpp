@@ -1,0 +1,74 @@
+// google-benchmark microbenchmarks of the thread-backed runtime: p2p
+// latency (eager and rendezvous), sendrecv exchange, barrier, and world
+// spin-up — the substrate costs under everything else.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+
+using namespace bsb;
+
+namespace {
+
+void BM_WorldSpawnJoin(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::World world(P);
+    world.run([](mpisim::ThreadComm&) {});
+  }
+}
+BENCHMARK(BM_WorldSpawnJoin)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  constexpr int kRounds = 64;  // messages per run() (reported time / run)
+  mpisim::World world(2);
+  for (auto _ : state) {
+    world.run([&](mpisim::ThreadComm& comm) {
+      std::vector<std::byte> buf(bytes);
+      for (int i = 0; i < kRounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(buf, 1, 0);
+          comm.recv(buf, 1, 1);
+        } else {
+          comm.recv(buf, 0, 0);
+          comm.send(buf, 0, 1);
+        }
+      }
+    });
+  }
+}
+BENCHMARK(BM_PingPong)->Arg(0)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_SendrecvRing(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  mpisim::World world(P);
+  for (auto _ : state) {
+    world.run([&](mpisim::ThreadComm& comm) {
+      std::vector<std::byte> out(4096), in(4096);
+      const int right = (comm.rank() + 1) % P;
+      const int left = (comm.rank() + P - 1) % P;
+      for (int step = 0; step < 16; ++step) {
+        comm.sendrecv(out, right, 0, in, left, 0);
+      }
+    });
+  }
+}
+BENCHMARK(BM_SendrecvRing)->Arg(4)->Arg(8);
+
+void BM_Barrier(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  mpisim::World world(P);
+  for (auto _ : state) {
+    world.run([](mpisim::ThreadComm& comm) {
+      for (int i = 0; i < 64; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

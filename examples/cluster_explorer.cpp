@@ -1,0 +1,107 @@
+// Cluster explorer: a small CLI over the simulation pipeline. Pick a rank
+// count, message size, node shape and algorithm; get simulated bandwidth,
+// per-level traffic, and the event-table view for small runs.
+//
+//   ./build/examples/cluster_explorer                      # defaults
+//   ./build/examples/cluster_explorer -p 129 -n 1048576 -c 24 -i 10
+//   ./build/examples/cluster_explorer -p 10 -n 640 -a tuned --events
+//
+// Algorithms: native | tuned | binomial | rd | pipeline | auto
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bsbutil/format.hpp"
+#include "comm/chunks.hpp"
+#include "coll/bcast_binomial.hpp"
+#include "coll/bcast_ring_pipelined.hpp"
+#include "coll/bcast_scatter_rd.hpp"
+#include "coll/bcast_scatter_ring_native.hpp"
+#include "core/bcast.hpp"
+#include "core/bcast_scatter_ring_tuned.hpp"
+#include "netsim/sim.hpp"
+#include "trace/event_table.hpp"
+#include "trace/record.hpp"
+
+using namespace bsb;
+
+namespace {
+
+void usage(const char* prog) {
+  std::cerr << "usage: " << prog
+            << " [-p ranks] [-n bytes] [-c cores/node] [-i iters]"
+               " [-a native|tuned|binomial|rd|pipeline|auto] [--events]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nranks = 64;
+  std::uint64_t nbytes = 1 << 20;
+  int cores = 24;
+  int iters = 8;
+  std::string algo = "auto";
+  bool events = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "-p") nranks = std::atoi(next());
+    else if (arg == "-n") nbytes = std::strtoull(next(), nullptr, 10);
+    else if (arg == "-c") cores = std::atoi(next());
+    else if (arg == "-i") iters = std::atoi(next());
+    else if (arg == "-a") algo = next();
+    else if (arg == "--events") events = true;
+    else usage(argv[0]);
+  }
+  if (nranks < 1 || cores < 1 || iters < 1) usage(argv[0]);
+
+  const trace::RankProgram program = [&](Comm& comm, std::span<std::byte> buffer) {
+    if (algo == "native") coll::bcast_scatter_ring_native(comm, buffer, 0);
+    else if (algo == "tuned") core::bcast_scatter_ring_tuned(comm, buffer, 0);
+    else if (algo == "binomial") coll::bcast_binomial(comm, buffer, 0);
+    else if (algo == "rd") coll::bcast_scatter_rd(comm, buffer, 0);
+    else if (algo == "pipeline") coll::bcast_ring_pipelined(comm, buffer, 0, 65536);
+    else if (algo == "auto") core::bcast(comm, buffer, 0);
+    else usage(argv[0]);
+  };
+
+  const Topology topo(nranks, cores, Placement::Block);
+  netsim::SimSpec spec{topo, netsim::CostModel::hornet(), iters};
+
+  std::cout << "cluster   : " << topo.describe() << "\n"
+            << "cost model: " << spec.cost.describe() << "\n"
+            << "workload  : bcast of " << format_bytes(nbytes) << " x " << iters
+            << " iterations, algorithm '" << algo << "'";
+  if (algo == "auto") {
+    std::cout << " -> " << to_string(core::choose_bcast_algorithm(nbytes, nranks));
+  }
+  std::cout << "\n\n";
+
+  const auto result = netsim::simulate_program(nranks, nbytes, program, spec);
+  std::cout << "simulated time : " << format_time(result.seconds) << "\n"
+            << "bandwidth      : " << format_mbps(result.bandwidth) << " MB/s\n"
+            << "throughput     : " << format_fixed(result.throughput, 1)
+            << " bcasts/s\n"
+            << "traffic/iter   : " << result.traffic.msgs << " msgs ("
+            << result.traffic.intra_msgs << " intra-node, "
+            << result.traffic.inter_msgs << " inter-node), "
+            << format_bytes(result.traffic.bytes) << "\n";
+
+  if (events) {
+    if (nranks > 16) {
+      std::cout << "\n(--events only rendered for <= 16 ranks)\n";
+    } else {
+      const auto sched = trace::record_schedule(nranks, nbytes, program);
+      std::cout << "\nper-step events (s<chunk>><dst>, r<chunk><<src>):\n"
+                << trace::render_event_table(
+                       sched, ChunkLayout(nbytes, nranks).scatter_size());
+    }
+  }
+  return 0;
+}

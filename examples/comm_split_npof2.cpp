@@ -1,0 +1,82 @@
+// Non-power-of-two communicators in the wild — the paper's §I observation:
+// "The occurrence of non-power-of-two processes can be due to explicit user
+// request at job-launching, particularly on systems where the core count
+// per node is already non-power-of-two, or due to splitting on the
+// communicator in the applications."
+//
+// This example starts 24 ranks (one Hornet node's worth — already npof2),
+// splits them the way a solver might (a 2/3 vs 1/3 work split), and
+// broadcasts a medium message inside each subgroup. The 16-rank group takes
+// MPICH3's recursive-doubling path; the 8-rank group is small; but the
+// FULL communicator (24 = npof2) and the 2/3 split would hit the ring path
+// the paper tunes — the example prints which algorithm each broadcast used
+// and the transfers saved.
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "bsbutil/format.hpp"
+#include "bsbutil/rng.hpp"
+#include "comm/subcomm.hpp"
+#include "core/bcast.hpp"
+#include "core/transfer_analysis.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+
+int main() {
+  using namespace bsb;
+
+  constexpr int kRanks = 24;          // one Hornet node: already npof2
+  constexpr std::uint64_t kBytes = 100000;  // medium message (12288..524287)
+  constexpr std::uint64_t kSeed = 7;
+
+  std::cout << "algorithm per communicator for a " << format_bytes(kBytes)
+            << " broadcast:\n";
+  for (int n : {24, 16, 8}) {
+    const auto algo = core::choose_bcast_algorithm(kBytes, n);
+    std::cout << "  " << n << " ranks -> " << to_string(algo);
+    if (algo == core::BcastAlgorithm::ScatterRingTuned) {
+      std::cout << "  (ring transfers " << core::native_ring_transfers(n)
+                << " -> " << core::tuned_ring_transfers(n) << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+
+  mpisim::World world(kRanks);
+  world.run([&](mpisim::ThreadComm& comm) {
+    const int me = comm.rank();
+
+    // 1. Broadcast on the FULL communicator: 24 ranks, medium message —
+    //    the mmsg-npof2 case, i.e. the tuned ring path.
+    std::vector<std::byte> buffer(kBytes);
+    if (me == 0) fill_pattern(buffer, kSeed);
+    core::bcast(comm, buffer, 0);
+    if (first_pattern_mismatch(buffer, kSeed) != buffer.size()) {
+      std::cerr << "rank " << me << ": full-comm broadcast corrupt\n";
+      std::exit(1);
+    }
+
+    // 2. Application-style split: ranks 0..15 solve the fluid domain,
+    //    16..23 the structure domain. Each subgroup broadcasts its own
+    //    boundary data.
+    const bool fluid_group = me < 16;
+    std::vector<int> members(fluid_group ? 16 : 8);
+    std::iota(members.begin(), members.end(), fluid_group ? 0 : 16);
+    SubComm sub(comm, members, /*context=*/fluid_group ? 1 : 2);
+
+    std::vector<std::byte> boundary(kBytes);
+    const std::uint64_t seed = kSeed + (fluid_group ? 100 : 200);
+    if (sub.rank() == 0) fill_pattern(boundary, seed);
+    core::bcast(sub, boundary, 0);
+    if (first_pattern_mismatch(boundary, seed) != boundary.size()) {
+      std::cerr << "rank " << me << ": subgroup broadcast corrupt\n";
+      std::exit(1);
+    }
+  });
+
+  std::cout << "full-communicator (24 ranks) + split-communicator (16 + 8) "
+               "broadcasts all verified OK\n"
+            << "total messages on the runtime: " << world.total_msgs() << "\n";
+  return 0;
+}

@@ -1,0 +1,205 @@
+// The paper's Listing 1, transcribed: MPI_Bcast_opt written against the
+// MPI facade with the pseudo-code's own structure and variable names
+// (relative_rank, scatter_size, mask, step, flag, j/jnext, left/right),
+// plus the binomial_tree scatter it calls. Runs on the thread backend,
+// verifies the broadcast result, and cross-checks the message count
+// against the library's native implementation and closed-form analysis —
+// i.e. the paper's code and our reproduction agree operation for
+// operation.
+//
+// Deviations from the listing, all mechanical:
+//  * the listing's (count, length) pair is simplified to nbytes;
+//  * MPI_Get_count supplies the scatter's received size, as MPICH does;
+//  * C++ spans/vectors replace raw char* arithmetic.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "core/transfer_analysis.hpp"
+#include "mpi/mpi.hpp"
+#include "mpisim/world.hpp"
+
+using namespace bsb::mpi;
+
+namespace {
+
+// "See Figure 1&2 for details" — the binomial-tree scatter of Listing 1,
+// written as MPICH's scatter_for_bcast does it.
+void binomial_tree(char* buffer, int nbytes, int root, MPI_Comm comm) {
+  int rank, comm_size;
+  MPI_Comm_rank(comm, &rank);
+  MPI_Comm_size(comm, &comm_size);
+  const int relative_rank = (rank >= root) ? rank - root : rank - root + comm_size;
+  const int scatter_size = (nbytes + comm_size - 1) / comm_size;
+
+  int curr_size = (rank == root) ? nbytes : 0;
+  int mask = 0x1;
+  while (mask < comm_size) {
+    if (relative_rank & mask) {
+      int src = rank - mask;
+      if (src < 0) src += comm_size;
+      const int recv_size = nbytes - relative_rank * scatter_size;
+      if (recv_size <= 0) {
+        curr_size = 0;
+      } else {
+        MPI_Status status;
+        MPI_Recv(buffer + relative_rank * scatter_size, recv_size, MPI_BYTE,
+                 src, 0, comm, &status);
+        MPI_Get_count(&status, MPI_BYTE, &curr_size);
+      }
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative_rank + mask < comm_size) {
+      const int send_size = curr_size - scatter_size * mask;
+      if (send_size > 0) {
+        int dst = rank + mask;
+        if (dst >= comm_size) dst -= comm_size;
+        MPI_Send(buffer + scatter_size * (relative_rank + mask), send_size,
+                 MPI_BYTE, dst, 0, comm);
+        curr_size -= send_size;
+      }
+    }
+    mask >>= 1;
+  }
+}
+
+// Listing 1: void MPI_Bcast_opt(char *buffer, ...).
+void MPI_Bcast_opt(char* buffer, int nbytes, int root, MPI_Comm comm) {
+  int rank, comm_size;
+  /* Get the process rank and communicator size */
+  MPI_Comm_rank(comm, &rank);
+  MPI_Comm_size(comm, &comm_size);
+  if (comm_size == 1) return;
+
+  /* If the process 0 is not the root, then each process needs to get the
+     relative_rank with respect to the root */
+  const int relative_rank =
+      (rank >= root) ? rank - root : rank - root + comm_size;
+
+  /* Root divides the source data into pieces of comm_size and disseminates
+     them to the other processes in a binomial tree */
+  const int scatter_size = (nbytes + comm_size - 1) / comm_size;
+  /* See Figure 1&2 for details */
+  binomial_tree(buffer, nbytes, root, comm);
+
+  /* --- The tuned ring allgather algorithm --- */
+  /* Each process computes the absolute left node and right node in the
+     virtual ring */
+  const int left = (comm_size + rank - 1) % comm_size;
+  const int right = (rank + 1) % comm_size;
+  int j = rank;
+  int jnext = left;
+
+  /* Added code: Each process calculates the step based on which it decides
+     to either send or receive inside the ring allgather operation */
+  int step = 1;
+  int flag = 0;
+  int mask = 1;
+  while (mask < comm_size) mask <<= 1;  // 2^ceil(log2(comm_size))
+  while (mask > 1) {
+    const int right_relative_rank = (relative_rank + 1 < comm_size)
+                                        ? relative_rank + 1
+                                        : relative_rank + 1 - comm_size;
+    if (!(right_relative_rank % mask)) {
+      step = mask;
+      if (right_relative_rank + mask > comm_size) {
+        step = comm_size - right_relative_rank;
+      }
+      /* Indicate only receive */
+      flag = 1;
+      break;
+    }
+    if (!(relative_rank % mask)) {
+      step = mask;
+      if (relative_rank + mask > comm_size) step = comm_size - relative_rank;
+      /* Indicate only send */
+      flag = 0;
+      break;
+    }
+    mask >>= 1;
+  }
+
+  /* Collect data chunks in (comm_size-1) steps at most */
+  for (int i = 1; i < comm_size; i++) {
+    const int rel_j = (j - root + comm_size) % comm_size;
+    const int rel_jnext = (jnext - root + comm_size) % comm_size;
+    int left_count = std::min(scatter_size, nbytes - rel_jnext * scatter_size);
+    if (left_count < 0) left_count = 0;
+    const int left_disp = std::min(rel_jnext * scatter_size, nbytes);
+    int right_count = std::min(scatter_size, nbytes - rel_j * scatter_size);
+    if (right_count < 0) right_count = 0;
+    const int right_disp = std::min(rel_j * scatter_size, nbytes);
+
+    /* Added code: Judge if the process has reached the point that
+       indicates either send-only or receive-only */
+    if (step <= comm_size - i) {
+      MPI_Status status;
+      MPI_Sendrecv(buffer + right_disp, right_count, MPI_BYTE, right, 0,
+                   buffer + left_disp, left_count, MPI_BYTE, left, 0, comm,
+                   &status);
+    } else {
+      if (flag) {
+        /* Receive point */
+        MPI_Status status;
+        MPI_Recv(buffer + left_disp, left_count, MPI_BYTE, left, 0, comm,
+                 &status);
+      } else {
+        /* Send point */
+        MPI_Send(buffer + right_disp, right_count, MPI_BYTE, right, 0, comm);
+      }
+    }
+    j = jnext;
+    jnext = (comm_size + jnext - 1) % comm_size;
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The paper's Figure 5 scenario (10 processes) plus a non-zero root and a
+  // ragged size that exercises the clamped trailing chunks.
+  const std::tuple<int, int, int> cases[] = {
+      {10, 100000, 0}, {8, 65536, 3}, {13, 99991, 7}};
+  for (const auto& [P, nbytes, root] : cases) {
+    std::atomic<int> bad{0};
+    const RunStats stats =
+        bsb::mpi::run(P, [&, P = P, nbytes = nbytes, root = root] {
+          int rank;
+          MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+          std::vector<char> buffer(nbytes);
+          if (rank == root) {
+            for (int i = 0; i < nbytes; ++i) {
+              buffer[i] = static_cast<char>(i * 31 + 7);
+            }
+          }
+          MPI_Bcast_opt(buffer.data(), nbytes, root, MPI_COMM_WORLD);
+          for (int i = 0; i < nbytes; ++i) {
+            if (buffer[i] != static_cast<char>(i * 31 + 7)) {
+              ++bad;
+              break;
+            }
+          }
+        });
+    const std::uint64_t expected =
+        bsb::core::scatter_transfers(P, nbytes) +
+        bsb::core::tuned_ring_transfers(P);
+    const bool count_ok = stats.msgs == expected;
+    std::printf(
+        "Listing 1 on P=%2d, %6d bytes, root %d: data %s, %llu messages "
+        "(closed-form analysis predicts %llu) %s\n",
+        P, nbytes, root, bad.load() == 0 ? "OK" : "CORRUPT",
+        static_cast<unsigned long long>(stats.msgs),
+        static_cast<unsigned long long>(expected),
+        count_ok ? "[match]" : "[MISMATCH]");
+    if (bad.load() != 0 || !count_ok) return 1;
+  }
+  std::printf("the paper's pseudo-code and this library agree, message for "
+              "message.\n");
+  return 0;
+}

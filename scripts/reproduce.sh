@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command reproduction: configure, build, run the full test suite, then
+# regenerate every paper figure/table (plus ablations) with CSVs under
+# results/. Outputs mirror EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/bench_*; do
+  name="$(basename "$b")"
+  echo "===================================================================="
+  echo "===== ${name}"
+  # Figure harnesses accept --csv-dir; google-benchmark binaries don't.
+  case "${name}" in
+    bench_micro_*) "$b" ;;
+    *) "$b" --csv-dir results ;;
+  esac
+done | tee results/full_bench_run.txt
+
+echo
+echo "All done. Compare against EXPERIMENTS.md; CSVs are in results/."

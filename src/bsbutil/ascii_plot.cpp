@@ -1,0 +1,99 @@
+#include "bsbutil/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/format.hpp"
+
+namespace bsb {
+
+namespace {
+double transform(double v, bool log2_axis) {
+  if (!log2_axis) return v;
+  BSB_REQUIRE(v > 0, "log-scale plot requires positive values");
+  return std::log2(v);
+}
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opt) {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const Series& s : series) {
+    BSB_REQUIRE(s.x.size() == s.y.size(), "series x/y length mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], opt.log2_x);
+      const double ty = transform(s.y[i], opt.log2_y);
+      xmin = std::min(xmin, tx); xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty); ymax = std::max(ymax, ty);
+      any = true;
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (xmax == xmin) { xmax = xmin + 1; }
+  if (ymax == ymin) { ymax = ymin + 1; }
+
+  const int W = std::max(opt.width, 16);
+  const int H = std::max(opt.height, 4);
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+
+  auto col_of = [&](double tx) {
+    int c = static_cast<int>(std::lround((tx - xmin) / (xmax - xmin) * (W - 1)));
+    return std::clamp(c, 0, W - 1);
+  };
+  auto row_of = [&](double ty) {
+    int r = static_cast<int>(std::lround((ty - ymin) / (ymax - ymin) * (H - 1)));
+    return std::clamp(H - 1 - r, 0, H - 1);  // row 0 is the top
+  };
+
+  for (const Series& s : series) {
+    // connect consecutive points with linear interpolation in transformed space
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const double x0 = transform(s.x[i], opt.log2_x), x1 = transform(s.x[i + 1], opt.log2_x);
+      const double y0 = transform(s.y[i], opt.log2_y), y1 = transform(s.y[i + 1], opt.log2_y);
+      const int c0 = col_of(x0), c1 = col_of(x1);
+      const int steps = std::max(std::abs(c1 - c0), 1);
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        canvas[row_of(y0 + (y1 - y0) * t)][col_of(x0 + (x1 - x0) * t)] = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      canvas[row_of(transform(s.y[i], opt.log2_y))]
+            [col_of(transform(s.x[i], opt.log2_x))] = s.marker;
+    }
+  }
+
+  std::string out;
+  if (!opt.title.empty()) out += opt.title + "\n";
+  for (const Series& s : series) {
+    out += "  ";
+    out += s.marker;
+    out += " " + s.label + "\n";
+  }
+  auto ylab = [&](int row) {
+    const double ty = ymax - (ymax - ymin) * row / (H - 1);
+    const double v = opt.log2_y ? std::exp2(ty) : ty;
+    return format_fixed(v, v < 16 ? 2 : 0);
+  };
+  std::size_t lw = 0;
+  for (int r = 0; r < H; ++r) lw = std::max(lw, ylab(r).size());
+  for (int r = 0; r < H; ++r) {
+    std::string lab = (r % 4 == 0 || r == H - 1) ? ylab(r) : "";
+    out += std::string(lw - lab.size(), ' ') + lab + " |" + canvas[r] + "\n";
+  }
+  out += std::string(lw, ' ') + " +" + std::string(W, '-') + "\n";
+  const double x_lo = opt.log2_x ? std::exp2(xmin) : xmin;
+  const double x_hi = opt.log2_x ? std::exp2(xmax) : xmax;
+  std::string footer = format_fixed(x_lo, 0);
+  const std::string hi = format_fixed(x_hi, 0);
+  footer += std::string(std::max<int>(1, W - static_cast<int>(footer.size() + hi.size())), ' ');
+  footer += hi;
+  out += std::string(lw + 2, ' ') + footer + "   (" + opt.x_label + ")  y=" +
+         opt.y_label + "\n";
+  return out;
+}
+
+}  // namespace bsb

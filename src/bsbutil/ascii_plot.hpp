@@ -1,0 +1,34 @@
+// Terminal line plots so the benchmark harnesses can render figure-shaped
+// output (bandwidth vs. message size curves) the way the paper draws them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsb {
+
+/// One plotted series: a label, a marker glyph and (x, y) points.
+struct Series {
+  std::string label;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Plot options. log2 axes mirror the paper's figures.
+struct PlotOptions {
+  int width = 72;    // interior columns
+  int height = 20;   // interior rows
+  bool log2_x = true;
+  bool log2_y = true;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Render all series onto one character canvas, with axis tick labels and a
+/// legend. Series are drawn in order; later series overwrite earlier ones
+/// where they collide.
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opt);
+
+}  // namespace bsb

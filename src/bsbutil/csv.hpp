@@ -1,0 +1,32 @@
+// Minimal CSV writer for benchmark result files.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bsb {
+
+/// Writes rows to a CSV file. Fields containing commas, quotes or newlines
+/// are quoted per RFC 4180. The file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws bsb::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; each field is escaped as needed.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Escape one field per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace bsb

@@ -1,0 +1,53 @@
+// Error handling: all invariant violations throw bsb::Error so tests can
+// assert on failure paths instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bsb {
+
+/// Base class for every error raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of an API precondition (caller bug).
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Violation of an internal invariant (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* cond, const char* msg,
+                                            const char* file, int line) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + cond + " — " + msg);
+}
+[[noreturn]] inline void throw_internal(const char* cond, const char* msg,
+                                        const char* file, int line) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": internal invariant failed: " + cond + " — " + msg);
+}
+}  // namespace detail
+
+}  // namespace bsb
+
+/// Check a caller-facing precondition; throws bsb::PreconditionError.
+#define BSB_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::bsb::detail::throw_precondition(#cond, msg, __FILE__, __LINE__); \
+  } while (0)
+
+/// Check an internal invariant; throws bsb::InternalError.
+#define BSB_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) ::bsb::detail::throw_internal(#cond, msg, __FILE__, __LINE__); \
+  } while (0)

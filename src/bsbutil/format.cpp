@@ -1,0 +1,42 @@
+#include "bsbutil/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bsbutil/units.hpp"
+
+namespace bsb {
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= GiB && bytes % GiB == 0) return std::to_string(bytes / GiB) + "GiB";
+  if (bytes >= MiB && bytes % MiB == 0) return std::to_string(bytes / MiB) + "MiB";
+  if (bytes >= KiB && bytes % KiB == 0) return std::to_string(bytes / KiB) + "KiB";
+  return std::to_string(bytes);
+}
+
+std::string format_mbps(double bytes_per_second, int decimals) {
+  return format_fixed(bytes_per_second / static_cast<double>(MiB), decimals);
+}
+
+std::string format_time(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a < 1e-6) return format_fixed(seconds * 1e9, 1) + "ns";
+  if (a < 1e-3) return format_fixed(seconds * 1e6, 2) + "us";
+  if (a < 1.0) return format_fixed(seconds * 1e3, 2) + "ms";
+  return format_fixed(seconds, 3) + "s";
+}
+
+std::string format_percent(double fraction, int decimals) {
+  const double pct = fraction * 100.0;
+  std::string s = format_fixed(pct, decimals);
+  if (pct >= 0 && !s.empty() && s[0] != '+') s = "+" + s;
+  return s + "%";
+}
+
+}  // namespace bsb

@@ -1,0 +1,26 @@
+// Human-readable formatting of byte counts, rates and times for benchmark
+// and example output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bsb {
+
+/// "12288", "512KiB", "4MiB" — exact power-of-two units when divisible,
+/// raw byte count otherwise (matches the paper's axis labelling style).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Bandwidth in base-2 MB/s with a fixed number of decimals, e.g. "2748.3".
+std::string format_mbps(double bytes_per_second, int decimals = 1);
+
+/// Time with an auto-selected unit: "1.23us", "45.6ms", "2.34s".
+std::string format_time(double seconds);
+
+/// Fixed-decimal double, e.g. format_fixed(1.2345, 2) == "1.23".
+std::string format_fixed(double v, int decimals);
+
+/// Percentage with sign, e.g. "+12.3%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace bsb

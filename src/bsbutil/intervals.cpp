@@ -1,0 +1,99 @@
+#include "bsbutil/intervals.hpp"
+
+#include <algorithm>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb {
+
+namespace {
+// First part whose hi is > lo, i.e. the first part that could touch or
+// overlap an interval starting at lo.
+auto first_touching(const std::vector<Interval>& parts, std::uint64_t lo) {
+  return std::lower_bound(parts.begin(), parts.end(), lo,
+                          [](const Interval& p, std::uint64_t v) { return p.hi < v; });
+}
+}  // namespace
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  auto it = first_touching(parts_, iv.lo);
+  // Merge every part that overlaps or is adjacent to iv.
+  while (it != parts_.end() && it->lo <= iv.hi) {
+    iv.lo = std::min(iv.lo, it->lo);
+    iv.hi = std::max(iv.hi, it->hi);
+    it = parts_.erase(it);
+  }
+  parts_.insert(it, iv);
+}
+
+void IntervalSet::erase(Interval iv) {
+  if (iv.empty()) return;
+  auto it = std::lower_bound(parts_.begin(), parts_.end(), iv.lo,
+                             [](const Interval& p, std::uint64_t v) { return p.hi <= v; });
+  while (it != parts_.end() && it->lo < iv.hi) {
+    const Interval cur = *it;
+    it = parts_.erase(it);
+    if (cur.lo < iv.lo) it = parts_.insert(it, Interval{cur.lo, iv.lo}) + 1;
+    if (cur.hi > iv.hi) it = parts_.insert(it, Interval{iv.hi, cur.hi}) + 1;
+  }
+}
+
+bool IntervalSet::contains(Interval iv) const noexcept {
+  if (iv.empty()) return true;
+  auto it = std::lower_bound(parts_.begin(), parts_.end(), iv.lo,
+                             [](const Interval& p, std::uint64_t v) { return p.hi <= v; });
+  return it != parts_.end() && it->lo <= iv.lo && iv.hi <= it->hi;
+}
+
+bool IntervalSet::intersects(Interval iv) const noexcept {
+  if (iv.empty()) return false;
+  auto it = std::lower_bound(parts_.begin(), parts_.end(), iv.lo,
+                             [](const Interval& p, std::uint64_t v) { return p.hi <= v; });
+  return it != parts_.end() && it->lo < iv.hi;
+}
+
+std::uint64_t IntervalSet::size() const noexcept {
+  std::uint64_t n = 0;
+  for (const Interval& p : parts_) n += p.length();
+  return n;
+}
+
+std::uint64_t IntervalSet::overlap(Interval iv) const noexcept {
+  if (iv.empty()) return 0;
+  std::uint64_t n = 0;
+  auto it = std::lower_bound(parts_.begin(), parts_.end(), iv.lo,
+                             [](const Interval& p, std::uint64_t v) { return p.hi <= v; });
+  for (; it != parts_.end() && it->lo < iv.hi; ++it) {
+    n += std::min(it->hi, iv.hi) - std::max(it->lo, iv.lo);
+  }
+  return n;
+}
+
+void IntervalSet::merge(const IntervalSet& other) {
+  for (const Interval& p : other.parts_) insert(p);
+}
+
+IntervalSet IntervalSet::complement(std::uint64_t n) const {
+  IntervalSet out;
+  std::uint64_t cursor = 0;
+  for (const Interval& p : parts_) {
+    if (p.lo >= n) break;
+    if (p.lo > cursor) out.insert({cursor, p.lo});
+    cursor = std::max(cursor, p.hi);
+  }
+  if (cursor < n) out.insert({cursor, n});
+  return out;
+}
+
+std::string IntervalSet::to_string() const {
+  if (parts_.empty()) return "{}";
+  std::string s;
+  for (const Interval& p : parts_) {
+    if (!s.empty()) s += "+";
+    s += "[" + std::to_string(p.lo) + "," + std::to_string(p.hi) + ")";
+  }
+  return s;
+}
+
+}  // namespace bsb

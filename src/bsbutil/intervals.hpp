@@ -1,0 +1,65 @@
+// Half-open byte-interval sets, used by the schedule coverage validator to
+// track which bytes of the broadcast source buffer each rank holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsb {
+
+/// Half-open interval [lo, hi) over byte offsets. Empty when lo >= hi.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  constexpr bool empty() const noexcept { return lo >= hi; }
+  constexpr std::uint64_t length() const noexcept { return empty() ? 0 : hi - lo; }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A set of bytes, maintained as sorted, disjoint, non-adjacent half-open
+/// intervals. All mutating operations keep that normal form.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv) { insert(iv); }
+
+  /// Add [iv.lo, iv.hi) to the set (union).
+  void insert(Interval iv);
+
+  /// Remove [iv.lo, iv.hi) from the set (difference).
+  void erase(Interval iv);
+
+  /// True if every byte of `iv` is in the set. An empty `iv` is contained.
+  bool contains(Interval iv) const noexcept;
+
+  /// True if any byte of `iv` is in the set.
+  bool intersects(Interval iv) const noexcept;
+
+  /// Total number of bytes in the set.
+  std::uint64_t size() const noexcept;
+
+  /// Number of bytes of `iv` that are in the set.
+  std::uint64_t overlap(Interval iv) const noexcept;
+
+  bool empty() const noexcept { return parts_.empty(); }
+  const std::vector<Interval>& parts() const noexcept { return parts_; }
+
+  /// Union with another set.
+  void merge(const IntervalSet& other);
+
+  /// Bytes of [0, n) NOT in the set.
+  IntervalSet complement(std::uint64_t n) const;
+
+  /// Human-readable form like "[0,4)+[8,12)" for diagnostics.
+  std::string to_string() const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  std::vector<Interval> parts_;  // sorted by lo; disjoint; non-adjacent
+};
+
+}  // namespace bsb

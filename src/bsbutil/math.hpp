@@ -1,0 +1,39 @@
+// Small integer math helpers shared across the project.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb {
+
+/// True if `x` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); requires x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  BSB_REQUIRE(x >= 1, "floor_log2 requires x >= 1");
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)); requires x >= 1. ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t x) {
+  BSB_REQUIRE(x >= 1, "ceil_log2 requires x >= 1");
+  return is_pow2(x) ? floor_log2(x) : floor_log2(x) + 1;
+}
+
+/// Smallest power of two >= x; requires x >= 1.
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// ceil(a / b) for nonnegative a, positive b.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  BSB_REQUIRE(b > 0, "ceil_div requires b > 0");
+  return (a + b - 1) / b;
+}
+
+}  // namespace bsb

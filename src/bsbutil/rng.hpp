@@ -1,0 +1,61 @@
+// Deterministic, seedable RNG (SplitMix64) plus pattern helpers used by the
+// tests to fill and verify communication buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bsb {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator. Deterministic for
+/// a given seed, so test failures reproduce exactly.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Byte at offset `i` of the canonical test pattern for a given seed.
+/// Position-dependent so any misplaced byte is detected, not just missing.
+constexpr std::byte pattern_byte(std::uint64_t seed, std::uint64_t i) noexcept {
+  std::uint64_t z = seed + i * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return static_cast<std::byte>((z ^ (z >> 27)) & 0xff);
+}
+
+/// Fill `buf` with the canonical pattern starting at logical offset `base`.
+inline void fill_pattern(std::span<std::byte> buf, std::uint64_t seed,
+                         std::uint64_t base = 0) noexcept {
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = pattern_byte(seed, base + i);
+}
+
+/// Index of the first byte of `buf` that deviates from the canonical
+/// pattern, or buf.size() if all match.
+inline std::size_t first_pattern_mismatch(std::span<const std::byte> buf,
+                                          std::uint64_t seed,
+                                          std::uint64_t base = 0) noexcept {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != pattern_byte(seed, base + i)) return i;
+  }
+  return buf.size();
+}
+
+}  // namespace bsb

@@ -1,0 +1,63 @@
+#include "bsbutil/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bsb {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == '%' || c == 'x' || c == 'e' || c == 'E')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> width(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < ncols; ++c) width[c] = std::max(width[c], r[c].size());
+  }
+
+  auto emit = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::size_t pad = width[c] - r[c].size();
+      if (c) out += "  ";
+      if (looks_numeric(r[c])) {
+        out.append(pad, ' ');
+        out += r[c];
+      } else {
+        out += r[c];
+        out.append(pad, ' ');
+      }
+    }
+    // trim trailing spaces
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+}  // namespace bsb

@@ -1,0 +1,31 @@
+// Aligned ASCII tables for terminal benchmark reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsb {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+///   Table t({"P", "native", "tuned"});
+///   t.add({"8", "56", "44"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add one row. Rows shorter than the header are padded with "".
+  void add(std::vector<std::string> row);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a header underline; numeric-looking cells right-aligned.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsb

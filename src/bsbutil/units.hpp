@@ -1,0 +1,21 @@
+// Byte and time unit constants. The paper uses base-2 megabytes/kilobytes
+// (2^20 / 2^10); we follow that convention everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace bsb {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// MPICH3 threshold between short and medium broadcast messages (bytes).
+inline constexpr std::uint64_t kMpichShortMsgLimit = 12288;
+/// MPICH3 threshold between medium and long broadcast messages (bytes).
+inline constexpr std::uint64_t kMpichMediumMsgLimit = 524288;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+}  // namespace bsb

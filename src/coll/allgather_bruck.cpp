@@ -1,0 +1,49 @@
+#include "coll/allgather_bruck.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+void allgather_bruck(Comm& comm, std::span<std::byte> buffer, std::uint64_t block) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(buffer.size() == static_cast<std::uint64_t>(P) * block,
+              "allgather_bruck: buffer must hold exactly P blocks");
+  if (P == 1) return;
+
+  // temp holds blocks in ring order starting at me: temp block j is the
+  // contribution of rank (me + j) % P.
+  std::vector<std::byte> temp(buffer.size());
+  if (block > 0) std::memcpy(temp.data(), buffer.data() + me * block, block);
+
+  std::uint64_t have = 1;  // blocks accumulated at the front of temp
+  int dist = 1;
+  while (dist < P) {
+    const int to = (me - dist % P + P) % P;
+    const int from = (me + dist) % P;
+    const std::uint64_t want =
+        std::min<std::uint64_t>(have, static_cast<std::uint64_t>(P) - have);
+    comm.sendrecv(std::span<const std::byte>(temp).subspan(0, want * block), to,
+                  tags::kBruck,
+                  std::span<std::byte>(temp).subspan(have * block, want * block),
+                  from, tags::kBruck);
+    have += want;
+    dist <<= 1;
+  }
+  BSB_ASSERT(have == static_cast<std::uint64_t>(P), "bruck: incomplete gather");
+
+  // Rotate back into rank order: temp block j belongs to rank (me+j)%P.
+  for (int j = 0; j < P; ++j) {
+    const int owner = (me + j) % P;
+    if (block > 0) {
+      std::memcpy(buffer.data() + static_cast<std::uint64_t>(owner) * block,
+                  temp.data() + static_cast<std::uint64_t>(j) * block, block);
+    }
+  }
+}
+
+}  // namespace bsb::coll

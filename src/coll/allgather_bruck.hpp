@@ -1,0 +1,21 @@
+// Bruck allgather — a log-step allgather for ANY process count, included
+// as an additional baseline for the algorithm-comparison ablation. Unlike
+// the ring variants it rotates data through a temporary buffer, so it is
+// benchmarked for time/traffic but not eligible for the single-buffer
+// dataflow (coverage) validator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Standalone allgather of equal `block`-byte contributions: on entry rank
+/// r's contribution sits at buffer[r*block, (r+1)*block); on return every
+/// rank holds all P blocks in rank order. buffer.size() must be P*block.
+void allgather_bruck(Comm& comm, std::span<std::byte> buffer, std::uint64_t block);
+
+}  // namespace bsb::coll

@@ -1,0 +1,62 @@
+#include "coll/allgather_neighbor_exchange.hpp"
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+namespace {
+constexpr int kNeighborTag = tags::kNeighborExchange;
+
+// Pair of blocks {2k, 2k+1} as a span of the gather buffer.
+std::span<std::byte> pair_span(std::span<std::byte> buffer, std::uint64_t block,
+                               int pair) {
+  return buffer.subspan(static_cast<std::uint64_t>(2 * pair) * block, 2 * block);
+}
+}  // namespace
+
+void allgather_neighbor_exchange(Comm& comm, std::span<std::byte> buffer,
+                                 std::uint64_t block) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(P % 2 == 0, "neighbor exchange: requires an even rank count");
+  BSB_REQUIRE(buffer.size() == static_cast<std::uint64_t>(P) * block,
+              "neighbor exchange: buffer must hold exactly P blocks");
+  const int m = P / 2;          // number of block pairs
+  const int p = me / 2;         // my pair index
+  const bool even = (me % 2) == 0;
+
+  // Step 0: pair-mates swap their own blocks; afterwards both own pair p.
+  {
+    const int mate = even ? me + 1 : me - 1;
+    comm.sendrecv(
+        std::span<const std::byte>(buffer).subspan(
+            static_cast<std::uint64_t>(me) * block, block),
+        mate, kNeighborTag,
+        buffer.subspan(static_cast<std::uint64_t>(mate) * block, block), mate,
+        kNeighborTag);
+  }
+
+  // Steps 1..m-1: alternately exchange with the other-side neighbour,
+  // forwarding the pair received in the previous step (own pair at s=1).
+  // Closed forms for the travelling pair indices (derivation in the tests):
+  //   even rank: receives pair p - ceil(s/2) on odd steps, p + s/2 on even;
+  //   odd rank:  mirrored signs.
+  int sent_pair = p;
+  for (int s = 1; s < m; ++s) {
+    const bool towards_lower = even == (s % 2 == 1);
+    const int partner = towards_lower ? (me - 1 + P) % P : (me + 1) % P;
+    int recv_pair;
+    if (even) {
+      recv_pair = (s % 2 == 1) ? p - (s + 1) / 2 : p + s / 2;
+    } else {
+      recv_pair = (s % 2 == 1) ? p + (s + 1) / 2 : p - s / 2;
+    }
+    recv_pair = ((recv_pair % m) + m) % m;
+    comm.sendrecv(pair_span(buffer, block, sent_pair), partner, kNeighborTag,
+                  pair_span(buffer, block, recv_pair), partner, kNeighborTag);
+    sent_pair = recv_pair;
+  }
+}
+
+}  // namespace bsb::coll

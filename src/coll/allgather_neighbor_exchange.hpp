@@ -1,0 +1,24 @@
+// Neighbor-exchange allgather (Chen et al.; MPICH's medium-message
+// allgather for even, non-power-of-two groups): ranks pair up, exchange
+// their own blocks, then alternately exchange the most recently received
+// PAIR of blocks with their other neighbour — P/2 steps, each rank sending
+// P/2 messages (half the ring's P-1), at the price of 2-block messages.
+// Included as a further baseline in the allgather design space the paper's
+// tuned ring lives in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Standalone allgather of equal `block`-byte contributions (rank r's
+/// block starts at r*block; buffer.size() == P*block). Requires an EVEN
+/// number of ranks (as MPICH does for this algorithm).
+void allgather_neighbor_exchange(Comm& comm, std::span<std::byte> buffer,
+                                 std::uint64_t block);
+
+}  // namespace bsb::coll

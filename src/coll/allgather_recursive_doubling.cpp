@@ -1,0 +1,60 @@
+#include "coll/allgather_recursive_doubling.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+void allgather_recursive_doubling(Comm& comm, std::span<std::byte> buffer, int root,
+                                  const ChunkLayout& layout) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(is_pow2(static_cast<std::uint64_t>(P)),
+              "allgather_recursive_doubling: requires power-of-two ranks");
+  BSB_REQUIRE(layout.nchunks() == P, "allgather_recursive_doubling: layout != P");
+  BSB_REQUIRE(buffer.size() >= layout.nbytes(),
+              "allgather_recursive_doubling: buffer too small");
+
+  const int rel = rel_rank(me, root, P);
+  const std::int64_t nbytes = static_cast<std::int64_t>(layout.nbytes());
+  const std::int64_t s = static_cast<std::int64_t>(layout.scatter_size());
+
+  auto block_bytes = [&](int first_chunk, int nchunks) {
+    return std::max<std::int64_t>(
+        0, std::min<std::int64_t>(nbytes - first_chunk * s,
+                                  static_cast<std::int64_t>(nchunks) * s));
+  };
+
+  std::int64_t curr_size = block_bytes(rel, 1);
+  int mask = 1;
+  int i = 0;
+  while (mask < P) {
+    const int relative_dst = rel ^ mask;
+    const int dst = abs_rank(relative_dst, root, P);
+
+    // Zero the low i bits to find the roots of both subtree blocks.
+    const int my_tree_root = (rel >> i) << i;
+    const int dst_tree_root = (relative_dst >> i) << i;
+
+    const std::int64_t send_off = my_tree_root * s;
+    const std::int64_t recv_off = dst_tree_root * s;
+    const std::int64_t recv_size = block_bytes(dst_tree_root, mask);
+
+    comm.sendrecv(std::span<const std::byte>(buffer).subspan(
+                      static_cast<std::size_t>(std::min(send_off, nbytes)),
+                      static_cast<std::size_t>(curr_size)),
+                  dst, tags::kRdAllgather,
+                  buffer.subspan(static_cast<std::size_t>(std::min(recv_off, nbytes)),
+                                 static_cast<std::size_t>(recv_size)),
+                  dst, tags::kRdAllgather);
+    curr_size += recv_size;
+    mask <<= 1;
+    ++i;
+  }
+}
+
+}  // namespace bsb::coll

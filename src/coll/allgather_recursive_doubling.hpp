@@ -1,0 +1,21 @@
+// Recursive-doubling allgather over binomial-scattered chunks — the phase
+// MPICH3 uses for MEDIUM messages with POWER-OF-TWO process counts. Each
+// of log2(P) rounds exchanges the accumulated block with the partner at
+// XOR distance 2^k, doubling the held block.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/chunks.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Requires a power-of-two comm size. Chunk i is owned by relative rank i
+/// (as produced by scatter_binomial). On return every rank holds all
+/// layout.nbytes() bytes.
+void allgather_recursive_doubling(Comm& comm, std::span<std::byte> buffer, int root,
+                                  const ChunkLayout& layout);
+
+}  // namespace bsb::coll

@@ -1,0 +1,36 @@
+#include "coll/allgather_ring_native.hpp"
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+void allgather_ring_native(Comm& comm, std::span<std::byte> buffer, int root,
+                           const ChunkLayout& layout) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(layout.nchunks() == P, "allgather_ring_native: layout chunk count != P");
+  BSB_REQUIRE(buffer.size() >= layout.nbytes(),
+              "allgather_ring_native: buffer too small");
+
+  const int left = (P + me - 1) % P;
+  const int right = (me + 1) % P;
+  int j = me;
+  int jnext = left;
+
+  for (int i = 1; i < P; ++i) {
+    const int rel_j = rel_rank(j, root, P);
+    const int rel_jnext = rel_rank(jnext, root, P);
+    // Chunk rel_j moves out to the right; chunk rel_jnext arrives from the
+    // left. Counts clamp to zero for trailing chunks (nbytes not divisible
+    // by P), but the message is still exchanged — that is exactly the
+    // "enclosed" behaviour the paper criticises.
+    comm.sendrecv(layout.chunk(std::span<const std::byte>(buffer), rel_j), right,
+                  tags::kRingAllgather,
+                  layout.chunk(buffer, rel_jnext), left, tags::kRingAllgather);
+    j = jnext;
+    jnext = (P + jnext - 1) % P;
+  }
+}
+
+}  // namespace bsb::coll

@@ -1,0 +1,25 @@
+// The NATIVE (enclosed) ring allgather used by MPICH3's scatter-ring-
+// allgather broadcast — the suboptimal phase the paper tunes (Figure 3).
+//
+// For P-1 steps, every rank sends chunk j to its right neighbour and
+// receives chunk jnext from its left neighbour, with j walking backwards
+// around the ring. Every rank sends AND receives on every step, as if it
+// owned only its own chunk — ignoring the extra chunks non-leaf ranks
+// already hold after the binomial scatter. Total transfers: P * (P - 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/chunks.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Run the enclosed ring allgather over chunks scattered by
+/// scatter_binomial (chunk i owned by relative rank i). On return every
+/// rank holds all layout.nbytes() bytes.
+void allgather_ring_native(Comm& comm, std::span<std::byte> buffer, int root,
+                           const ChunkLayout& layout);
+
+}  // namespace bsb::coll

@@ -1,0 +1,43 @@
+#include "coll/alltoall.hpp"
+
+#include <cstring>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+namespace {
+constexpr int kAlltoallTag = tags::kAlltoall;
+}  // namespace
+
+void alltoall_pairwise(Comm& comm, std::span<const std::byte> sendbuf,
+                       std::span<std::byte> recvbuf, std::uint64_t block) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(sendbuf.size() == static_cast<std::uint64_t>(P) * block,
+              "alltoall: sendbuf must hold P blocks");
+  BSB_REQUIRE(recvbuf.size() == static_cast<std::uint64_t>(P) * block,
+              "alltoall: recvbuf must hold P blocks");
+
+  if (block > 0) {
+    std::memcpy(recvbuf.data() + static_cast<std::uint64_t>(me) * block,
+                sendbuf.data() + static_cast<std::uint64_t>(me) * block, block);
+  }
+
+  const bool pof2 = is_pow2(static_cast<std::uint64_t>(P));
+  for (int s = 1; s < P; ++s) {
+    // XOR partners pair up symmetrically for power-of-two groups; the ring
+    // schedule (send to r+s, receive from r-s) covers the general case.
+    const int send_to = pof2 ? (me ^ s) : (me + s) % P;
+    const int recv_from = pof2 ? (me ^ s) : (me - s % P + P) % P;
+    comm.sendrecv(
+        sendbuf.subspan(static_cast<std::uint64_t>(send_to) * block, block),
+        send_to, kAlltoallTag,
+        recvbuf.subspan(static_cast<std::uint64_t>(recv_from) * block, block),
+        recv_from, kAlltoallTag);
+  }
+}
+
+}  // namespace bsb::coll

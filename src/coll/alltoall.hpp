@@ -1,0 +1,21 @@
+// Pairwise-exchange MPI_Alltoall: every rank sends a distinct block to
+// every other rank. P-1 steps; at step s rank r exchanges with r XOR s
+// (power-of-two groups) or with (r+s, r-s) ring partners otherwise —
+// MPICH's long-message algorithm family.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// `sendbuf` and `recvbuf` each hold P blocks of `block` bytes: sendbuf
+/// block d goes to rank d; recvbuf block s arrives from rank s. The own
+/// block is copied locally.
+void alltoall_pairwise(Comm& comm, std::span<const std::byte> sendbuf,
+                       std::span<std::byte> recvbuf, std::uint64_t block);
+
+}  // namespace bsb::coll

@@ -1,0 +1,40 @@
+#include "coll/bcast_binomial.hpp"
+
+#include "bsbutil/error.hpp"
+#include "comm/chunks.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+void bcast_binomial(Comm& comm, std::span<std::byte> buffer, int root) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  const int rel = rel_rank(me, root, P);
+
+  // Wait for the parent's copy. The parent of relative rank r is r with its
+  // lowest set bit cleared; we find that bit by scanning masks upward.
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      int src = me - mask;
+      if (src < 0) src += P;
+      comm.recv(buffer, src, tags::kBcastBinomial);
+      break;
+    }
+    mask <<= 1;
+  }
+
+  // Forward to children: all ranks rel + mask for masks below our lowest
+  // set bit (the full group for the root).
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < P) {
+      int dst = me + mask;
+      if (dst >= P) dst -= P;
+      comm.send(buffer, dst, tags::kBcastBinomial);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace bsb::coll

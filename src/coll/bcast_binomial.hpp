@@ -1,0 +1,16 @@
+// Binomial-tree broadcast — MPICH3's algorithm for short messages and for
+// small process counts. The whole buffer travels down a binomial tree
+// rooted (in relative rank space) at the root: log2(P) rounds, each rank
+// receives once and forwards to up to log2(P) children.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+void bcast_binomial(Comm& comm, std::span<std::byte> buffer, int root);
+
+}  // namespace bsb::coll

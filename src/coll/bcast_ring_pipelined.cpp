@@ -1,0 +1,36 @@
+#include "coll/bcast_ring_pipelined.hpp"
+
+#include <algorithm>
+
+#include "bsbutil/error.hpp"
+#include "comm/chunks.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+void bcast_ring_pipelined(Comm& comm, std::span<std::byte> buffer, int root,
+                          std::uint64_t segment_bytes) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(root >= 0 && root < P, "bcast_ring_pipelined: root out of range");
+  if (P == 1 || buffer.empty()) return;
+
+  const std::uint64_t seg = segment_bytes == 0 ? buffer.size() : segment_bytes;
+  const int rel = rel_rank(me, root, P);
+  const int left = (P + me - 1) % P;
+  const int right = (me + 1) % P;
+  const bool is_tail = rel == P - 1;  // last ring member forwards nothing
+
+  for (std::uint64_t off = 0; off < buffer.size(); off += seg) {
+    const std::uint64_t len = std::min<std::uint64_t>(seg, buffer.size() - off);
+    if (rel != 0) {
+      comm.recv(buffer.subspan(off, len), left, tags::kPipelinedRing);
+    }
+    if (!is_tail) {
+      comm.send(std::span<const std::byte>(buffer).subspan(off, len), right,
+                tags::kPipelinedRing);
+    }
+  }
+}
+
+}  // namespace bsb::coll

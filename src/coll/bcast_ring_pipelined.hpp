@@ -1,0 +1,20 @@
+// Segmented pipelined-ring broadcast: the buffer flows around the ring in
+// fixed-size segments, so rank k starts forwarding segment i while segment
+// i+1 is still in flight behind it. A classic large-message broadcast,
+// included as an extension baseline for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Broadcast `buffer` from `root` around the ring in `segment_bytes`
+/// segments (the last may be short). segment_bytes == 0 means one segment.
+void bcast_ring_pipelined(Comm& comm, std::span<std::byte> buffer, int root,
+                          std::uint64_t segment_bytes);
+
+}  // namespace bsb::coll

@@ -1,0 +1,15 @@
+#include "coll/bcast_scatter_rd.hpp"
+
+#include "coll/allgather_recursive_doubling.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+void bcast_scatter_rd(Comm& comm, std::span<std::byte> buffer, int root) {
+  const ChunkLayout layout(buffer.size(), comm.size());
+  scatter_binomial(comm, buffer, root, layout);
+  allgather_recursive_doubling(comm, buffer, root, layout);
+}
+
+}  // namespace bsb::coll

@@ -1,0 +1,15 @@
+// MPICH3's broadcast for medium messages with power-of-two process counts:
+// binomial scatter followed by a recursive-doubling allgather.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Requires a power-of-two comm size.
+void bcast_scatter_rd(Comm& comm, std::span<std::byte> buffer, int root);
+
+}  // namespace bsb::coll

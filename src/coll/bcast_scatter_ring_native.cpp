@@ -1,0 +1,15 @@
+#include "coll/bcast_scatter_ring_native.hpp"
+
+#include "coll/allgather_ring_native.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+void bcast_scatter_ring_native(Comm& comm, std::span<std::byte> buffer, int root) {
+  const ChunkLayout layout(buffer.size(), comm.size());
+  scatter_binomial(comm, buffer, root, layout);
+  allgather_ring_native(comm, buffer, root, layout);
+}
+
+}  // namespace bsb::coll

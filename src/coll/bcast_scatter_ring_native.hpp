@@ -1,0 +1,16 @@
+// MPI_Bcast_native: MPICH3's broadcast for long messages and for medium
+// messages with non-power-of-two process counts — binomial scatter followed
+// by the enclosed (suboptimal) ring allgather. This is the baseline the
+// paper measures against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+void bcast_scatter_ring_native(Comm& comm, std::span<std::byte> buffer, int root);
+
+}  // namespace bsb::coll

@@ -1,0 +1,60 @@
+#include "coll/comm_split.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/allgather_bruck.hpp"
+
+namespace bsb::coll {
+
+namespace {
+struct Entry {
+  int color;
+  int key;
+};
+static_assert(sizeof(Entry) == 8);
+}  // namespace
+
+std::optional<SubComm> comm_split(Comm& parent, int color, int key,
+                                  int base_context) {
+  BSB_REQUIRE(color >= 0 || color == kUndefinedColor,
+              "comm_split: color must be >= 0 or kUndefinedColor");
+  BSB_REQUIRE(base_context >= 1, "comm_split: base_context must be >= 1");
+  const int P = parent.size();
+
+  // Everyone learns everyone's (color, key) via an allgather.
+  std::vector<std::byte> table(static_cast<std::size_t>(P) * sizeof(Entry));
+  const Entry mine{color, key};
+  std::memcpy(table.data() + parent.rank() * sizeof(Entry), &mine, sizeof(Entry));
+  allgather_bruck(parent, table, sizeof(Entry));
+
+  std::vector<Entry> entries(P);
+  std::memcpy(entries.data(), table.data(), table.size());
+
+  // Distinct colors in ascending order define the context offsets, so all
+  // participants derive identical contexts without more communication.
+  std::map<int, int> color_index;
+  for (const Entry& e : entries) {
+    if (e.color != kUndefinedColor) color_index.emplace(e.color, 0);
+  }
+  int idx = 0;
+  for (auto& [c, i] : color_index) i = idx++;
+
+  if (color == kUndefinedColor) return std::nullopt;
+
+  // Members of my color, ordered by (key, parent rank) as MPI specifies.
+  std::vector<int> members;
+  for (int r = 0; r < P; ++r) {
+    if (entries[r].color == color) members.push_back(r);
+  }
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    return entries[a].key < entries[b].key;
+  });
+
+  return SubComm(parent, std::move(members), base_context + color_index.at(color));
+}
+
+}  // namespace bsb::coll

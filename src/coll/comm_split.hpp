@@ -1,0 +1,26 @@
+// MPI_Comm_split over the abstract Comm: every rank supplies a color and a
+// key; ranks sharing a color form a SubComm, ordered by (key, parent
+// rank). This is the operation the paper's introduction names as a common
+// source of non-power-of-two communicators ("due to splitting on the
+// communicator in the applications").
+#pragma once
+
+#include <optional>
+
+#include "comm/comm.hpp"
+#include "comm/subcomm.hpp"
+
+namespace bsb::coll {
+
+/// Pass as `color` to opt out of every subgroup (MPI_UNDEFINED).
+inline constexpr int kUndefinedColor = -1;
+
+/// Collective over `parent`: all ranks must call it together. Returns the
+/// subgroup for this rank's color (nullopt for kUndefinedColor). Subgroup
+/// tag contexts are `base_context + index-of-color` (colors sorted
+/// ascending), so splits with distinct base_context ranges can coexist;
+/// colors must be >= 0 (or kUndefinedColor) and base_context >= 1.
+std::optional<SubComm> comm_split(Comm& parent, int color, int key,
+                                  int base_context);
+
+}  // namespace bsb::coll

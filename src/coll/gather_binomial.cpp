@@ -1,0 +1,68 @@
+#include "coll/gather_binomial.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+namespace {
+constexpr int kGatherTag = tags::kGather;
+}  // namespace
+
+void gather_binomial(Comm& comm, std::span<const std::byte> sendbuf,
+                     std::span<std::byte> recvbuf, std::uint64_t block, int root) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(sendbuf.size() == block, "gather: sendbuf must be exactly one block");
+  BSB_REQUIRE(root >= 0 && root < P, "gather: root out of range");
+  if (me == root) {
+    BSB_REQUIRE(recvbuf.size() >= static_cast<std::uint64_t>(P) * block,
+                "gather: root recvbuf too small");
+  }
+  const int rel = rel_rank(me, root, P);
+
+  // Accumulate this subtree's blocks in RELATIVE order: position k holds
+  // the block of relative rank rel+k.
+  const int my_span = scatter_subtree_span(rel, P);
+  std::vector<std::byte> temp(static_cast<std::uint64_t>(my_span) * block);
+  if (block > 0) std::memcpy(temp.data(), sendbuf.data(), block);
+
+  // Receive children lowest-mask first (they root progressively larger
+  // subtrees), exactly mirroring the scatter's send order reversed.
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) break;  // our own parent edge reached: stop collecting
+    if (rel + mask < P) {
+      const int child = abs_rank(rel + mask, root, P);
+      const std::uint64_t child_blocks = scatter_subtree_span(rel + mask, P);
+      comm.recv(std::span<std::byte>(temp).subspan(
+                    static_cast<std::uint64_t>(mask) * block, child_blocks * block),
+                child, kGatherTag);
+    }
+    mask <<= 1;
+  }
+
+  if (rel != 0) {
+    int parent = me - mask;
+    if (parent < 0) parent += P;
+    comm.send(temp, parent, kGatherTag);
+    return;
+  }
+
+  // Root: rotate from relative order back to absolute rank order.
+  BSB_ASSERT(my_span == P, "gather: root subtree must cover the group");
+  for (int k = 0; k < P; ++k) {
+    const int owner = abs_rank(k, root, P);
+    if (block > 0) {
+      std::memcpy(recvbuf.data() + static_cast<std::uint64_t>(owner) * block,
+                  temp.data() + static_cast<std::uint64_t>(k) * block, block);
+    }
+  }
+}
+
+}  // namespace bsb::coll

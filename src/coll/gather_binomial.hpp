@@ -1,0 +1,23 @@
+// Binomial-tree gather (MPI_Gather): every rank contributes an equal-size
+// block; the root ends with all P blocks in rank order. The mirror image
+// of scatter_binomial — subtree roots accumulate their subtree's blocks
+// and forward them up in one message, so the tree moves ceil(log2 P)
+// message generations and P-1 messages total.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// `sendbuf` holds this rank's `block` bytes. At the root, `recvbuf` must
+/// hold P*block bytes and receives the blocks in ABSOLUTE rank order; on
+/// other ranks `recvbuf` is ignored (may be empty). Internally blocks
+/// travel in relative-rank order; the root performs the final rotation.
+void gather_binomial(Comm& comm, std::span<const std::byte> sendbuf,
+                     std::span<std::byte> recvbuf, std::uint64_t block, int root);
+
+}  // namespace bsb::coll

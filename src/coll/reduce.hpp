@@ -1,0 +1,133 @@
+// Typed reductions over the abstract Comm: binomial-tree MPI_Reduce and
+// MPI_Allreduce (recursive doubling for power-of-two groups, binomial
+// reduce + binomial broadcast otherwise — the same structural choices
+// MPICH makes for commutative operations).
+//
+// Element types: any trivially copyable arithmetic-like type; operations
+// are commutative and associative functors (Sum/Max/Min provided).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+#include "coll/bcast_binomial.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+struct SumOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+struct MaxOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return b < a ? a : b;
+  }
+};
+struct MinOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a < b ? a : b;
+  }
+};
+
+namespace detail {
+
+inline constexpr int kReduceTag = tags::kReduce;
+inline constexpr int kAllreduceTag = tags::kAllreduce;
+
+template <typename T>
+std::span<std::byte> as_bytes(std::span<T> s) {
+  return {reinterpret_cast<std::byte*>(s.data()), s.size_bytes()};
+}
+template <typename T>
+std::span<const std::byte> as_bytes(std::span<const T> s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size_bytes()};
+}
+
+template <typename T, typename Op>
+void combine(std::span<T> acc, std::span<const T> in, Op op) {
+  BSB_REQUIRE(acc.size() == in.size(), "reduce: element count mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], in[i]);
+}
+
+}  // namespace detail
+
+/// Binomial-tree reduction of `values` (same count on every rank) into
+/// `result` at the root (ignored elsewhere; may be empty). `op` must be
+/// commutative and associative.
+template <typename T, typename Op>
+void reduce_binomial(Comm& comm, std::span<const T> values, std::span<T> result,
+                     Op op, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(root >= 0 && root < P, "reduce: root out of range");
+  const int rel = rel_rank(me, root, P);
+
+  std::vector<T> acc(values.begin(), values.end());
+  std::vector<T> incoming(values.size());
+
+  // Mirror of the binomial broadcast: leaves send first, subtree roots
+  // fold each child's partial before forwarding their own.
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      int parent = me - mask;
+      if (parent < 0) parent += P;
+      comm.send(detail::as_bytes(std::span<const T>(acc)), parent,
+                detail::kReduceTag);
+      break;
+    }
+    if (rel + mask < P) {
+      const int child = abs_rank(rel + mask, root, P);
+      comm.recv(detail::as_bytes(std::span<T>(incoming)), child,
+                detail::kReduceTag);
+      detail::combine(std::span<T>(acc), std::span<const T>(incoming), op);
+    }
+    mask <<= 1;
+  }
+
+  if (me == root) {
+    BSB_REQUIRE(result.size() == values.size(), "reduce: result size mismatch");
+    std::memcpy(result.data(), acc.data(), acc.size() * sizeof(T));
+  }
+}
+
+/// Allreduce: every rank ends with op-fold of all contributions, in place.
+/// Power-of-two groups use recursive doubling (log2 P exchange rounds);
+/// other sizes fall back to reduce-to-0 + broadcast.
+template <typename T, typename Op>
+void allreduce(Comm& comm, std::span<T> values, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = comm.size();
+  const int me = comm.rank();
+  if (P == 1) return;
+
+  if (is_pow2(static_cast<std::uint64_t>(P))) {
+    std::vector<T> incoming(values.size());
+    for (int mask = 1; mask < P; mask <<= 1) {
+      const int partner = me ^ mask;
+      comm.sendrecv(detail::as_bytes(std::span<const T>(values)), partner,
+                    detail::kAllreduceTag,
+                    detail::as_bytes(std::span<T>(incoming)), partner,
+                    detail::kAllreduceTag);
+      detail::combine(values, std::span<const T>(incoming), op);
+    }
+    return;
+  }
+
+  reduce_binomial(comm, std::span<const T>(values), values, op, /*root=*/0);
+  bcast_binomial(comm, detail::as_bytes(values), /*root=*/0);
+}
+
+}  // namespace bsb::coll

@@ -1,0 +1,68 @@
+#include "coll/scatter.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+void scatter(Comm& comm, std::span<const std::byte> sendbuf,
+             std::span<std::byte> recvbuf, std::uint64_t block, int root) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(root >= 0 && root < P, "scatter: root out of range");
+  BSB_REQUIRE(recvbuf.size() == block, "scatter: recvbuf must be one block");
+  if (me == root) {
+    BSB_REQUIRE(sendbuf.size() >= static_cast<std::uint64_t>(P) * block,
+                "scatter: root sendbuf too small");
+  }
+  const int rel = rel_rank(me, root, P);
+
+  // Subtree staging buffer in RELATIVE block order: slot k holds the block
+  // of relative rank rel+k. The root seeds it by rotating its sendbuf.
+  const int my_span = scatter_subtree_span(rel, P);
+  std::vector<std::byte> temp(static_cast<std::uint64_t>(my_span) * block);
+  if (me == root && block > 0) {
+    for (int k = 0; k < P; ++k) {
+      const int owner = abs_rank(k, root, P);
+      std::memcpy(temp.data() + static_cast<std::uint64_t>(k) * block,
+                  sendbuf.data() + static_cast<std::uint64_t>(owner) * block,
+                  block);
+    }
+  }
+
+  // Receive our subtree range from the parent (non-roots only).
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      int parent = me - mask;
+      if (parent < 0) parent += P;
+      comm.recv(temp, parent, tags::kStandaloneScatter);
+      break;
+    }
+    mask <<= 1;
+  }
+
+  // Peel off and forward the upper halves, largest child first (mirror of
+  // the receive order in gather_binomial).
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < P) {
+      const int child = abs_rank(rel + mask, root, P);
+      const std::uint64_t child_blocks = scatter_subtree_span(rel + mask, P);
+      comm.send(std::span<const std::byte>(temp).subspan(
+                    static_cast<std::uint64_t>(mask) * block,
+                    child_blocks * block),
+                child, tags::kStandaloneScatter);
+    }
+    mask >>= 1;
+  }
+
+  if (block > 0) std::memcpy(recvbuf.data(), temp.data(), block);
+}
+
+}  // namespace bsb::coll

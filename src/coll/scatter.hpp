@@ -1,0 +1,25 @@
+// Standalone MPI_Scatter: the root holds P equal blocks; rank r receives
+// block r. Binomial tree like MPICH: the root hands each subtree root its
+// whole block range in one message and subtree roots re-scatter — P-1
+// messages, ceil(log2 P) generations deep.
+//
+// (Distinct from scatter_binomial, which is the BROADCAST-internal scatter
+// leaving data at chunk-home offsets of a shared buffer; this one has
+// MPI_Scatter's root-sendbuf/all-recvbuf signature.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// At the root, `sendbuf` holds P*block bytes (block i for rank i); on
+/// every rank `recvbuf` (block bytes) receives its own block. `sendbuf`
+/// is ignored on non-roots and may be empty.
+void scatter(Comm& comm, std::span<const std::byte> sendbuf,
+             std::span<std::byte> recvbuf, std::uint64_t block, int root);
+
+}  // namespace bsb::coll

@@ -1,0 +1,85 @@
+#include "coll/scatter_binomial.hpp"
+
+#include <algorithm>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+#include "coll/tags.hpp"
+
+namespace bsb::coll {
+
+int scatter_subtree_span(int rel, int nranks) {
+  BSB_REQUIRE(rel >= 0 && rel < nranks, "scatter_subtree_span: rel out of range");
+  if (rel == 0) return nranks;
+  const int lsb = rel & -rel;  // size of the subtree received from the parent
+  return std::min(lsb, nranks - rel);
+}
+
+std::uint64_t scatter_block_bytes(int rel, const ChunkLayout& layout) {
+  return layout.range_count(rel, scatter_subtree_span(rel, layout.nchunks()));
+}
+
+std::uint64_t scatter_binomial(Comm& comm, std::span<std::byte> buffer, int root,
+                               const ChunkLayout& layout) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(layout.nchunks() == P, "scatter_binomial: layout chunk count != P");
+  BSB_REQUIRE(buffer.size() >= layout.nbytes(), "scatter_binomial: buffer too small");
+  const int rel = rel_rank(me, root, P);
+  const std::int64_t nbytes = static_cast<std::int64_t>(layout.nbytes());
+  const std::int64_t s = static_cast<std::int64_t>(layout.scatter_size());
+
+  // All byte counts below are closed-form functions of (P, root, nbytes),
+  // matching what MPICH derives from MPI_Get_count at runtime; this keeps
+  // the algorithm data-oblivious so schedules can be recorded.
+  //
+  // `curr_size` is MPICH's bookkeeping: the bytes not yet delegated to a
+  // child. The bytes the rank's BUFFER holds — its whole subtree block,
+  // which the tuned ring exploits — is `held`, returned to the caller.
+  std::int64_t curr_size = (me == root) ? nbytes : 0;
+  std::int64_t held = curr_size;
+
+  // Receive our subtree's chunk block from the parent.
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      int src = me - mask;
+      if (src < 0) src += P;
+      const std::int64_t expected =
+          std::max<std::int64_t>(0, std::min<std::int64_t>(nbytes - rel * s,
+                                                           static_cast<std::int64_t>(mask) * s));
+      if (nbytes - rel * s > 0) {
+        comm.recv(buffer.subspan(static_cast<std::size_t>(rel) * s,
+                                 static_cast<std::size_t>(expected)),
+                  src, tags::kScatter);
+        curr_size = expected;
+      } else {
+        curr_size = 0;
+      }
+      held = curr_size;
+      break;
+    }
+    mask <<= 1;
+  }
+
+  // Halve our block repeatedly, sending the upper half to the child that
+  // roots that sub-block.
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < P) {
+      const std::int64_t send_size = curr_size - static_cast<std::int64_t>(mask) * s;
+      if (send_size > 0) {
+        int dst = me + mask;
+        if (dst >= P) dst -= P;
+        comm.send(buffer.subspan(static_cast<std::size_t>(rel + mask) * s,
+                                 static_cast<std::size_t>(send_size)),
+                  dst, tags::kScatter);
+        curr_size -= send_size;
+      }
+    }
+    mask >>= 1;
+  }
+  return static_cast<std::uint64_t>(std::max<std::int64_t>(held, 0));
+}
+
+}  // namespace bsb::coll

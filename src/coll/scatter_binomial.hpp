@@ -1,0 +1,37 @@
+// Binomial-tree scatter, phase 1 of the scatter-(ring|rd)-allgather
+// broadcasts (Figures 1 and 2 of the paper). The root's buffer is divided
+// into P chunks; after the scatter, the rank with relative rank i holds the
+// contiguous chunk block [i, i + 2^k) of its binomial subtree — in
+// particular at least its own chunk i — at the chunks' home offsets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/chunks.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Scatter `buffer` (layout.nbytes() bytes in P = layout.nchunks() chunks)
+/// down the binomial tree rooted at `root`. Returns the number of bytes
+/// this rank's buffer HOLDS afterwards — its whole binomial-subtree block,
+/// starting at layout.disp(rel_rank(rank)); forwarding to children does not
+/// erase data, which is precisely what the tuned ring exploits. All sizes
+/// are computed analytically so the operation is data-oblivious
+/// (recordable).
+std::uint64_t scatter_binomial(Comm& comm, std::span<std::byte> buffer, int root,
+                               const ChunkLayout& layout);
+
+/// Bytes rank-with-relative-rank `rel` holds after the scatter completes:
+/// the size of its binomial-subtree chunk block (closed form; used by tests
+/// and by the transfer analysis).
+std::uint64_t scatter_block_bytes(int rel, const ChunkLayout& layout);
+
+/// Number of whole chunks in relative rank `rel`'s binomial subtree
+/// (before clamping by the chunk count), i.e. the largest 2^k dividing rel,
+/// or the whole group for rel == 0.
+int scatter_subtree_span(int rel, int nranks);
+
+}  // namespace bsb::coll

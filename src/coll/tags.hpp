@@ -1,0 +1,21 @@
+// Per-algorithm message tags. Distinct tags keep phases of composed
+// collectives (scatter then allgather) from matching each other's traffic.
+#pragma once
+
+namespace bsb::coll::tags {
+
+inline constexpr int kBcastBinomial = 1;
+inline constexpr int kScatter = 2;
+inline constexpr int kRingAllgather = 3;
+inline constexpr int kRdAllgather = 4;
+inline constexpr int kBruck = 5;
+inline constexpr int kPipelinedRing = 6;
+inline constexpr int kTunedRingAllgather = 7;
+inline constexpr int kGather = 8;
+inline constexpr int kReduce = 9;
+inline constexpr int kAllreduce = 10;
+inline constexpr int kNeighborExchange = 11;
+inline constexpr int kAlltoall = 12;
+inline constexpr int kStandaloneScatter = 13;
+
+}  // namespace bsb::coll::tags

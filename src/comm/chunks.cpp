@@ -1,0 +1,3 @@
+// ChunkLayout is header-only; this TU exists so the comm target has an
+// archive member and to anchor the header's compilation.
+#include "comm/chunks.hpp"

@@ -1,0 +1,95 @@
+// Chunk layout math for scatter-based broadcasts.
+//
+// The scatter-ring-allgather broadcast divides the root's nbytes buffer
+// into P chunks of scatter_size = ceil(nbytes / P) bytes; trailing chunks
+// may be short or empty when nbytes is not divisible by P (the pseudo-code
+// in the paper clamps negative counts to zero — count() does the same).
+//
+// Chunk indices are RELATIVE ranks: the rank with relative rank i (i.e.
+// (rank - root + P) % P) owns chunk i, which lives at byte offset
+// i * scatter_size of the (absolute-layout) user buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb {
+
+/// Relative rank of `rank` with respect to `root` in a group of `size`.
+constexpr int rel_rank(int rank, int root, int size) {
+  BSB_REQUIRE(size > 0 && rank >= 0 && rank < size && root >= 0 && root < size,
+              "rel_rank: rank/root out of range");
+  return rank >= root ? rank - root : rank - root + size;
+}
+
+/// Inverse of rel_rank: absolute rank of relative rank `rel`.
+constexpr int abs_rank(int rel, int root, int size) {
+  BSB_REQUIRE(size > 0 && rel >= 0 && rel < size && root >= 0 && root < size,
+              "abs_rank: rel/root out of range");
+  const int r = rel + root;
+  return r < size ? r : r - size;
+}
+
+/// Division of `nbytes` into `nchunks` chunks of ceil(nbytes/nchunks) bytes.
+class ChunkLayout {
+ public:
+  ChunkLayout(std::uint64_t nbytes, int nchunks)
+      : nbytes_(nbytes), nchunks_(nchunks) {
+    BSB_REQUIRE(nchunks > 0, "ChunkLayout: need at least one chunk");
+    scatter_size_ = nbytes == 0 ? 0 : (nbytes + nchunks - 1) / nchunks;
+  }
+
+  std::uint64_t nbytes() const noexcept { return nbytes_; }
+  int nchunks() const noexcept { return nchunks_; }
+
+  /// ceil(nbytes / nchunks); 0 when nbytes == 0.
+  std::uint64_t scatter_size() const noexcept { return scatter_size_; }
+
+  /// Byte offset of chunk i (clamped to nbytes so disp()+count() is valid).
+  std::uint64_t disp(int i) const {
+    check_index(i);
+    const std::uint64_t d = static_cast<std::uint64_t>(i) * scatter_size_;
+    return d < nbytes_ ? d : nbytes_;
+  }
+
+  /// Byte count of chunk i (possibly 0 for trailing chunks).
+  std::uint64_t count(int i) const {
+    check_index(i);
+    const std::uint64_t d = static_cast<std::uint64_t>(i) * scatter_size_;
+    if (d >= nbytes_) return 0;
+    const std::uint64_t rest = nbytes_ - d;
+    return rest < scatter_size_ ? rest : scatter_size_;
+  }
+
+  /// Total bytes of the contiguous chunk range [first, first+n).
+  std::uint64_t range_count(int first, int n) const {
+    BSB_REQUIRE(n >= 0 && first >= 0 && first + n <= nchunks_,
+                "ChunkLayout: chunk range out of bounds");
+    std::uint64_t total = 0;
+    for (int i = 0; i < n; ++i) total += count(first + i);
+    return total;
+  }
+
+  /// Subspan of `buffer` holding chunk i.
+  std::span<std::byte> chunk(std::span<std::byte> buffer, int i) const {
+    BSB_REQUIRE(buffer.size() >= nbytes_, "ChunkLayout: buffer smaller than nbytes");
+    return buffer.subspan(disp(i), count(i));
+  }
+  std::span<const std::byte> chunk(std::span<const std::byte> buffer, int i) const {
+    BSB_REQUIRE(buffer.size() >= nbytes_, "ChunkLayout: buffer smaller than nbytes");
+    return buffer.subspan(disp(i), count(i));
+  }
+
+ private:
+  void check_index(int i) const {
+    BSB_REQUIRE(i >= 0 && i < nchunks_, "ChunkLayout: chunk index out of range");
+  }
+
+  std::uint64_t nbytes_;
+  int nchunks_;
+  std::uint64_t scatter_size_;
+};
+
+}  // namespace bsb

@@ -1,0 +1,56 @@
+// The abstract communicator interface all collective algorithms are written
+// against. Implementations:
+//   * mpisim::ThreadComm   — threads moving real bytes (functional backend)
+//   * trace::RecordingComm — captures the communication schedule for the
+//                            discrete-event cluster simulator
+//   * SubComm              — rank-translating view for sub-groups
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/status.hpp"
+
+namespace bsb {
+
+/// Wildcards accepted by recv (thread backend only; recorded schedules must
+/// be fully deterministic and reject them).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Maximum user-visible tag value; higher bits are reserved for
+/// sub-communicator context namespacing.
+inline constexpr int kMaxUserTag = (1 << 16) - 1;
+
+/// Blocking point-to-point communicator over a fixed group of ranks,
+/// semantically a small subset of MPI:
+///  * messages between a (source, dest) pair with equal tags are
+///    non-overtaking (FIFO), as required by MPI;
+///  * send() of more bytes than the posted receive buffer is an error
+///    (MPI_ERR_TRUNCATE); fewer is allowed and reported via Status;
+///  * sendrecv() is full-duplex: the send and receive halves progress
+///    independently, so rings of sendrecv() calls cannot deadlock;
+///  * zero-byte messages are legal and still match.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
+
+  /// Blocking send. Returns once `buf` may be reused (which, as in MPI, may
+  /// be before the receiver arrives for small/eager messages).
+  virtual void send(std::span<const std::byte> buf, int dest, int tag) = 0;
+
+  /// Blocking receive into `buf` (capacity = buf.size()).
+  virtual Status recv(std::span<std::byte> buf, int source, int tag) = 0;
+
+  /// Full-duplex combined send+receive (MPI_Sendrecv).
+  virtual Status sendrecv(std::span<const std::byte> sendbuf, int dest, int sendtag,
+                          std::span<std::byte> recvbuf, int source, int recvtag) = 0;
+
+  /// Synchronize all ranks of this communicator.
+  virtual void barrier() = 0;
+};
+
+}  // namespace bsb

@@ -1,0 +1,172 @@
+// Typed and derived-datatype helpers over the byte-oriented Comm — the
+// MPI-style layer applications actually program against: send a vector of
+// doubles, a strided matrix column, or an indexed selection, without hand
+// rolling byte offsets. Non-contiguous layouts are packed into a
+// contiguous staging buffer before sending and unpacked after receiving
+// (what MPI implementations do internally for non-trivial datatypes).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb {
+
+/// Description of element positions inside a T array: either a contiguous
+/// run, a strided (vector) pattern of fixed-length blocks, or an explicit
+/// index list. Offsets/counts are in ELEMENTS.
+class Datatype {
+ public:
+  /// `count` consecutive elements starting at `offset`.
+  static Datatype contiguous(std::size_t count, std::size_t offset = 0) {
+    Datatype d;
+    d.kind_ = Kind::Contiguous;
+    d.offset_ = offset;
+    d.count_ = count;
+    return d;
+  }
+
+  /// `nblocks` blocks of `block_len` elements, block i starting at
+  /// offset + i*stride (MPI_Type_vector).
+  static Datatype vector(std::size_t nblocks, std::size_t block_len,
+                         std::size_t stride, std::size_t offset = 0) {
+    BSB_REQUIRE(block_len <= stride || nblocks <= 1,
+                "Datatype::vector: overlapping blocks");
+    Datatype d;
+    d.kind_ = Kind::Vector;
+    d.offset_ = offset;
+    d.count_ = nblocks;
+    d.block_len_ = block_len;
+    d.stride_ = stride;
+    return d;
+  }
+
+  /// Explicit element indices (MPI_Type_indexed with unit blocks).
+  static Datatype indexed(std::vector<std::size_t> indices) {
+    Datatype d;
+    d.kind_ = Kind::Indexed;
+    d.indices_ = std::move(indices);
+    return d;
+  }
+
+  /// Number of elements the layout selects.
+  std::size_t element_count() const noexcept {
+    switch (kind_) {
+      case Kind::Contiguous: return count_;
+      case Kind::Vector: return count_ * block_len_;
+      case Kind::Indexed: return indices_.size();
+    }
+    return 0;
+  }
+
+  /// Smallest array size (in elements) this layout fits into.
+  std::size_t min_extent() const noexcept {
+    switch (kind_) {
+      case Kind::Contiguous:
+        return offset_ + count_;
+      case Kind::Vector:
+        return count_ == 0 ? offset_
+                           : offset_ + (count_ - 1) * stride_ + block_len_;
+      case Kind::Indexed: {
+        std::size_t m = 0;
+        for (std::size_t i : indices_) m = std::max(m, i + 1);
+        return m;
+      }
+    }
+    return 0;
+  }
+
+  /// Copy the selected elements of `data` into a packed vector.
+  template <typename T>
+  std::vector<T> pack(std::span<const T> data) const {
+    BSB_REQUIRE(data.size() >= min_extent(), "Datatype::pack: array too small");
+    std::vector<T> out;
+    out.reserve(element_count());
+    for_each_index([&](std::size_t i) { out.push_back(data[i]); });
+    return out;
+  }
+
+  /// Scatter `packed` (element_count() values) into `data` per the layout.
+  template <typename T>
+  void unpack(std::span<const T> packed, std::span<T> data) const {
+    BSB_REQUIRE(packed.size() == element_count(),
+                "Datatype::unpack: packed size mismatch");
+    BSB_REQUIRE(data.size() >= min_extent(), "Datatype::unpack: array too small");
+    std::size_t k = 0;
+    for_each_index([&](std::size_t i) { data[i] = packed[k++]; });
+  }
+
+ private:
+  enum class Kind { Contiguous, Vector, Indexed };
+
+  template <typename Fn>
+  void for_each_index(Fn&& fn) const {
+    switch (kind_) {
+      case Kind::Contiguous:
+        for (std::size_t i = 0; i < count_; ++i) fn(offset_ + i);
+        return;
+      case Kind::Vector:
+        for (std::size_t b = 0; b < count_; ++b) {
+          for (std::size_t i = 0; i < block_len_; ++i) {
+            fn(offset_ + b * stride_ + i);
+          }
+        }
+        return;
+      case Kind::Indexed:
+        for (std::size_t i : indices_) fn(i);
+        return;
+    }
+  }
+
+  Kind kind_ = Kind::Contiguous;
+  std::size_t offset_ = 0;
+  std::size_t count_ = 0;
+  std::size_t block_len_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::size_t> indices_;
+};
+
+/// Typed contiguous send/recv (MPI_Send/Recv with a basic datatype).
+template <typename T>
+void send_typed(Comm& comm, std::span<const T> values, int dest, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  comm.send({reinterpret_cast<const std::byte*>(values.data()),
+             values.size_bytes()},
+            dest, tag);
+}
+
+template <typename T>
+Status recv_typed(Comm& comm, std::span<T> values, int source, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Status st = comm.recv(
+      {reinterpret_cast<std::byte*>(values.data()), values.size_bytes()},
+      source, tag);
+  BSB_REQUIRE(st.bytes % sizeof(T) == 0,
+              "recv_typed: received a fractional number of elements");
+  return st;
+}
+
+/// Send the elements of `data` selected by `layout` (packs first).
+template <typename T>
+void send_layout(Comm& comm, std::span<const T> data, const Datatype& layout,
+                 int dest, int tag) {
+  const std::vector<T> packed = layout.pack(data);
+  send_typed(comm, std::span<const T>(packed), dest, tag);
+}
+
+/// Receive into the elements of `data` selected by `layout`.
+template <typename T>
+Status recv_layout(Comm& comm, std::span<T> data, const Datatype& layout,
+                   int source, int tag) {
+  std::vector<T> packed(layout.element_count());
+  const Status st = recv_typed(comm, std::span<T>(packed), source, tag);
+  BSB_REQUIRE(st.bytes == packed.size() * sizeof(T),
+              "recv_layout: element count mismatch with sender");
+  layout.unpack(std::span<const T>(packed), data);
+  return st;
+}
+
+}  // namespace bsb

@@ -1,0 +1,17 @@
+// Receive-completion status, mirroring MPI_Status.
+#pragma once
+
+#include <cstddef>
+
+namespace bsb {
+
+/// Result of a completed receive: who sent it, with which tag, and how many
+/// bytes actually arrived (may be less than the receive buffer size, as in
+/// MPI; more is a truncation error raised by the backend).
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+}  // namespace bsb

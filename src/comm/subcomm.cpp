@@ -1,0 +1,82 @@
+#include "comm/subcomm.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb {
+
+SubComm::SubComm(Comm& parent, std::vector<int> members, int context)
+    : parent_(&parent), members_(std::move(members)), context_(context) {
+  BSB_REQUIRE(!members_.empty(), "SubComm: empty member list");
+  BSB_REQUIRE(context >= 1, "SubComm: context must be >= 1");
+  std::unordered_set<int> seen;
+  for (int pr : members_) {
+    BSB_REQUIRE(pr >= 0 && pr < parent.size(), "SubComm: member outside parent");
+    BSB_REQUIRE(seen.insert(pr).second, "SubComm: duplicate member");
+  }
+  const auto it = std::find(members_.begin(), members_.end(), parent.rank());
+  BSB_REQUIRE(it != members_.end(), "SubComm: calling rank not in member list");
+  my_rank_ = static_cast<int>(it - members_.begin());
+}
+
+int SubComm::parent_rank(int r) const {
+  BSB_REQUIRE(r >= 0 && r < size(), "SubComm: subgroup rank out of range");
+  return members_[r];
+}
+
+int SubComm::local_rank_of(int pr) const noexcept {
+  const auto it = std::find(members_.begin(), members_.end(), pr);
+  return it == members_.end() ? -1 : static_cast<int>(it - members_.begin());
+}
+
+int SubComm::translate_tag(int tag) const {
+  BSB_REQUIRE(tag >= 0 && tag <= kMaxUserTag, "SubComm: tag outside user tag space");
+  return context_ * (kMaxUserTag + 1) + tag;
+}
+
+int SubComm::translate_source(int source) const {
+  if (source == kAnySource) return kAnySource;
+  return parent_rank(source);
+}
+
+void SubComm::send(std::span<const std::byte> buf, int dest, int tag) {
+  parent_->send(buf, parent_rank(dest), translate_tag(tag));
+}
+
+Status SubComm::recv(std::span<std::byte> buf, int source, int tag) {
+  BSB_REQUIRE(tag != kAnyTag, "SubComm: wildcard tags would cross contexts");
+  Status st = parent_->recv(buf, translate_source(source), translate_tag(tag));
+  st.tag = tag;
+  const int local = local_rank_of(st.source);
+  BSB_ASSERT(local >= 0, "SubComm: message from outside the subgroup");
+  st.source = local;
+  return st;
+}
+
+Status SubComm::sendrecv(std::span<const std::byte> sendbuf, int dest, int sendtag,
+                         std::span<std::byte> recvbuf, int source, int recvtag) {
+  BSB_REQUIRE(recvtag != kAnyTag, "SubComm: wildcard tags would cross contexts");
+  Status st = parent_->sendrecv(sendbuf, parent_rank(dest), translate_tag(sendtag),
+                               recvbuf, translate_source(source), translate_tag(recvtag));
+  st.tag = recvtag;
+  const int local = local_rank_of(st.source);
+  BSB_ASSERT(local >= 0, "SubComm: message from outside the subgroup");
+  st.source = local;
+  return st;
+}
+
+void SubComm::barrier() {
+  const int n = size();
+  if (n == 1) return;
+  // Dissemination barrier: after round k every rank has (transitively)
+  // heard from 2^(k+1) predecessors; ceil(log2 n) rounds synchronize all.
+  for (int dist = 1; dist < n; dist <<= 1) {
+    const int to = (my_rank_ + dist) % n;
+    const int from = (my_rank_ - dist % n + n) % n;
+    sendrecv({}, to, kBarrierTag, {}, from, kBarrierTag);
+  }
+}
+
+}  // namespace bsb

@@ -1,0 +1,56 @@
+// SubComm: a rank-translating view of a subset of a parent communicator,
+// equivalent to an MPI communicator created with MPI_Comm_split. The
+// SMP-aware broadcast uses SubComms for its per-node groups and its
+// node-leader group.
+//
+// Isolation between concurrently used subgroups is by tag namespacing:
+// each SubComm gets a `context` id and maps user tag t (t < kMaxUserTag)
+// to context * 2^16 + t on the parent. Create all subgroups of one
+// algorithm from the SAME parent with DISTINCT contexts; nesting SubComms
+// inside SubComms is not supported (the tag shift would be applied twice).
+#pragma once
+
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace bsb {
+
+class SubComm final : public Comm {
+ public:
+  /// `members`: parent ranks forming the subgroup, in subgroup rank order;
+  /// must be distinct and include parent.rank(). `context` >= 1 selects the
+  /// tag namespace (0 is the parent's own space).
+  SubComm(Comm& parent, std::vector<int> members, int context);
+
+  int rank() const noexcept override { return my_rank_; }
+  int size() const noexcept override { return static_cast<int>(members_.size()); }
+
+  void send(std::span<const std::byte> buf, int dest, int tag) override;
+  Status recv(std::span<std::byte> buf, int source, int tag) override;
+  Status sendrecv(std::span<const std::byte> sendbuf, int dest, int sendtag,
+                  std::span<std::byte> recvbuf, int source, int recvtag) override;
+
+  /// Dissemination barrier over the subgroup using zero-byte messages.
+  void barrier() override;
+
+  /// Parent rank backing subgroup rank `r`.
+  int parent_rank(int r) const;
+
+  /// Subgroup rank of parent rank `pr`, or -1 if not a member.
+  int local_rank_of(int pr) const noexcept;
+
+ private:
+  int translate_tag(int tag) const;
+  int translate_source(int source) const;
+
+  Comm* parent_;  // non-owning; a pointer so SubComm stays assignable
+  std::vector<int> members_;
+  int context_;
+  int my_rank_ = -1;
+};
+
+/// Tag reserved for SubComm::barrier; user tags must stay below it.
+inline constexpr int kBarrierTag = kMaxUserTag;
+
+}  // namespace bsb

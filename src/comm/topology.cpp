@@ -1,0 +1,46 @@
+#include "comm/topology.hpp"
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+
+namespace bsb {
+
+Topology::Topology(int nranks, int cores_per_node, Placement placement)
+    : nranks_(nranks), cores_per_node_(cores_per_node), placement_(placement) {
+  BSB_REQUIRE(nranks > 0, "Topology: nranks must be positive");
+  BSB_REQUIRE(cores_per_node > 0, "Topology: cores_per_node must be positive");
+  num_nodes_ = static_cast<int>(ceil_div(static_cast<std::uint64_t>(nranks),
+                                         static_cast<std::uint64_t>(cores_per_node)));
+}
+
+Topology Topology::single_node(int nranks) {
+  return Topology(nranks, nranks, Placement::Block);
+}
+
+int Topology::node_of(int rank) const {
+  BSB_REQUIRE(rank >= 0 && rank < nranks_, "Topology: rank out of range");
+  switch (placement_) {
+    case Placement::Block:
+      return rank / cores_per_node_;
+    case Placement::Cyclic:
+      return rank % num_nodes_;
+  }
+  BSB_ASSERT(false, "unreachable placement");
+}
+
+std::vector<int> Topology::ranks_on_node(int node) const {
+  BSB_REQUIRE(node >= 0 && node < num_nodes_, "Topology: node out of range");
+  std::vector<int> out;
+  for (int r = 0; r < nranks_; ++r) {
+    if (node_of(r) == node) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Topology::describe() const {
+  return std::to_string(nranks_) + " ranks on " + std::to_string(num_nodes_) +
+         " node(s) x " + std::to_string(cores_per_node_) + " cores, " +
+         (placement_ == Placement::Block ? "block" : "cyclic") + " placement";
+}
+
+}  // namespace bsb

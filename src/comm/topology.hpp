@@ -1,0 +1,50 @@
+// Cluster topology: how ranks map onto multi-core nodes. Used by the
+// SMP-aware broadcast and by the network simulator to classify transfers
+// as intra-node (memory copies) or inter-node (NIC traffic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsb {
+
+/// Rank placement policy, matching common MPI launchers. Hornet (the
+/// paper's Cray XC40) places ranks in a blocked manner by default.
+enum class Placement {
+  Block,   // ranks 0..c-1 on node 0, c..2c-1 on node 1, ...
+  Cyclic,  // rank r on node r % num_nodes
+};
+
+class Topology {
+ public:
+  /// `nranks` ranks on nodes of `cores_per_node` cores each, filled per
+  /// `placement`. The node count is ceil(nranks / cores_per_node).
+  Topology(int nranks, int cores_per_node, Placement placement = Placement::Block);
+
+  /// All ranks on one node (every transfer is intra-node).
+  static Topology single_node(int nranks);
+
+  /// Hornet-like: 24-core nodes, block placement (the paper's testbed).
+  static Topology hornet(int nranks) { return Topology(nranks, 24, Placement::Block); }
+
+  int nranks() const noexcept { return nranks_; }
+  int cores_per_node() const noexcept { return cores_per_node_; }
+  int num_nodes() const noexcept { return num_nodes_; }
+  Placement placement() const noexcept { return placement_; }
+
+  int node_of(int rank) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Ranks living on `node`, in ascending rank order.
+  std::vector<int> ranks_on_node(int node) const;
+
+  std::string describe() const;
+
+ private:
+  int nranks_;
+  int cores_per_node_;
+  int num_nodes_;
+  Placement placement_;
+};
+
+}  // namespace bsb

@@ -1,0 +1,46 @@
+#include "core/allgather_ring_tuned.hpp"
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+#include "core/ring_plan.hpp"
+
+namespace bsb::core {
+
+void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                          const ChunkLayout& layout) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(layout.nchunks() == P, "allgather_ring_tuned: layout chunk count != P");
+  BSB_REQUIRE(buffer.size() >= layout.nbytes(),
+              "allgather_ring_tuned: buffer too small");
+
+  const int left = (P + me - 1) % P;
+  const int right = (me + 1) % P;
+  int j = me;
+  int jnext = left;
+
+  const RingPlan plan = compute_ring_plan(rel_rank(me, root, P), P);
+
+  for (int i = 1; i < P; ++i) {
+    const int rel_j = rel_rank(j, root, P);
+    const int rel_jnext = rel_rank(jnext, root, P);
+    const auto send_chunk = layout.chunk(std::span<const std::byte>(buffer), rel_j);
+    const auto recv_chunk = layout.chunk(buffer, rel_jnext);
+
+    if (!is_special_step(plan, i, P)) {
+      comm.sendrecv(send_chunk, right, coll::tags::kTunedRingAllgather,
+                    recv_chunk, left, coll::tags::kTunedRingAllgather);
+    } else if (plan.recv_only) {
+      // Our right neighbour already owns everything we would still send.
+      comm.recv(recv_chunk, left, coll::tags::kTunedRingAllgather);
+    } else {
+      // We already own everything the left neighbour would still send.
+      comm.send(send_chunk, right, coll::tags::kTunedRingAllgather);
+    }
+
+    j = jnext;
+    jnext = (P + jnext - 1) % P;
+  }
+}
+
+}  // namespace bsb::core

@@ -1,0 +1,24 @@
+// The TUNED (non-enclosed) ring allgather — the paper's §IV contribution
+// (Figures 4 and 5). Identical step structure to the native ring, but each
+// rank uses its RingPlan to skip the transfers whose payload the receiver
+// already owns from the binomial scatter: the last step-1 receives for
+// subtree-root ranks, the last step-1 sends for their left neighbours.
+// Total transfers drop from P(P-1) to P(P-1) - sum(step_i - 1), e.g.
+// 56 -> 44 at P=8 and 90 -> 75 at P=10, with the same P-1 step count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/chunks.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::core {
+
+/// Run the tuned ring allgather over chunks scattered by scatter_binomial
+/// (chunk i owned by relative rank i, subtree roots owning whole blocks).
+/// On return every rank holds all layout.nbytes() bytes.
+void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                          const ChunkLayout& layout);
+
+}  // namespace bsb::core

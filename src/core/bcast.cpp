@@ -1,0 +1,60 @@
+#include "core/bcast.hpp"
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+#include "coll/bcast_binomial.hpp"
+#include "coll/bcast_scatter_rd.hpp"
+#include "coll/bcast_scatter_ring_native.hpp"
+#include "core/bcast_scatter_ring_tuned.hpp"
+
+namespace bsb::core {
+
+const char* to_string(BcastAlgorithm a) noexcept {
+  switch (a) {
+    case BcastAlgorithm::Binomial: return "binomial";
+    case BcastAlgorithm::ScatterRdAllgather: return "scatter+rd-allgather";
+    case BcastAlgorithm::ScatterRingNative: return "scatter+ring-allgather(native)";
+    case BcastAlgorithm::ScatterRingTuned: return "scatter+ring-allgather(tuned)";
+  }
+  return "?";
+}
+
+BcastAlgorithm choose_bcast_algorithm(std::uint64_t nbytes, int nranks,
+                                      const BcastConfig& cfg) {
+  BSB_REQUIRE(nranks >= 1, "choose_bcast_algorithm: nranks >= 1");
+  if (nbytes < cfg.smsg_limit || nranks < cfg.min_procs_for_scatter) {
+    return BcastAlgorithm::Binomial;
+  }
+  if (nbytes < cfg.mmsg_limit && is_pow2(static_cast<std::uint64_t>(nranks))) {
+    return BcastAlgorithm::ScatterRdAllgather;
+  }
+  return cfg.use_tuned_ring ? BcastAlgorithm::ScatterRingTuned
+                            : BcastAlgorithm::ScatterRingNative;
+}
+
+void run_bcast_algorithm(BcastAlgorithm algo, Comm& comm,
+                         std::span<std::byte> buffer, int root) {
+  switch (algo) {
+    case BcastAlgorithm::Binomial:
+      coll::bcast_binomial(comm, buffer, root);
+      return;
+    case BcastAlgorithm::ScatterRdAllgather:
+      coll::bcast_scatter_rd(comm, buffer, root);
+      return;
+    case BcastAlgorithm::ScatterRingNative:
+      coll::bcast_scatter_ring_native(comm, buffer, root);
+      return;
+    case BcastAlgorithm::ScatterRingTuned:
+      bcast_scatter_ring_tuned(comm, buffer, root);
+      return;
+  }
+  BSB_ASSERT(false, "run_bcast_algorithm: unknown algorithm");
+}
+
+void bcast(Comm& comm, std::span<std::byte> buffer, int root,
+           const BcastConfig& cfg) {
+  run_bcast_algorithm(choose_bcast_algorithm(buffer.size(), comm.size(), cfg),
+                      comm, buffer, root);
+}
+
+}  // namespace bsb::core

@@ -1,0 +1,58 @@
+// Public broadcast entry point with MPICH3-style algorithm selection.
+//
+// MPICH3 dispatches MPI_Bcast on message size and process count:
+//   * short messages (< 12288 B) or fewer than 8 ranks: binomial tree;
+//   * medium messages (< 524288 B) with power-of-two ranks:
+//     binomial scatter + recursive-doubling allgather;
+//   * everything else (long messages; medium with non-power-of-two ranks):
+//     binomial scatter + ring allgather.
+// BcastConfig::use_tuned_ring selects the paper's non-enclosed ring for the
+// last case (MPI_Bcast_opt) instead of the stock enclosed ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "bsbutil/units.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::core {
+
+enum class BcastAlgorithm {
+  Binomial,
+  ScatterRdAllgather,
+  ScatterRingNative,
+  ScatterRingTuned,
+};
+
+const char* to_string(BcastAlgorithm a) noexcept;
+
+struct BcastConfig {
+  /// Below this size the binomial tree wins (MPICH3's 12288-byte cut).
+  std::uint64_t smsg_limit = kMpichShortMsgLimit;
+  /// Below this (and power-of-two ranks) recursive doubling is used
+  /// (MPICH3's 524288-byte cut).
+  std::uint64_t mmsg_limit = kMpichMediumMsgLimit;
+  /// Below this many ranks the binomial tree is always used
+  /// (MPICH's MPIR_CVAR_BCAST_MIN_PROCS).
+  int min_procs_for_scatter = 8;
+  /// Use the paper's tuned ring allgather for the scatter-ring path.
+  bool use_tuned_ring = true;
+};
+
+/// The algorithm bcast() will run for this size/count/config.
+BcastAlgorithm choose_bcast_algorithm(std::uint64_t nbytes, int nranks,
+                                      const BcastConfig& cfg = {});
+
+/// Broadcast buffer from `root` to all ranks of `comm`, selecting the
+/// algorithm per `cfg` exactly as MPICH3 would.
+void bcast(Comm& comm, std::span<std::byte> buffer, int root,
+           const BcastConfig& cfg = {});
+
+/// Run one specific algorithm regardless of thresholds (benchmarks and
+/// tests). ScatterRdAllgather requires a power-of-two comm size.
+void run_bcast_algorithm(BcastAlgorithm algo, Comm& comm,
+                         std::span<std::byte> buffer, int root);
+
+}  // namespace bsb::core

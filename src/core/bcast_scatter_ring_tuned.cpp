@@ -1,0 +1,15 @@
+#include "core/bcast_scatter_ring_tuned.hpp"
+
+#include "coll/scatter_binomial.hpp"
+#include "comm/chunks.hpp"
+#include "core/allgather_ring_tuned.hpp"
+
+namespace bsb::core {
+
+void bcast_scatter_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root) {
+  const ChunkLayout layout(buffer.size(), comm.size());
+  coll::scatter_binomial(comm, buffer, root, layout);
+  allgather_ring_tuned(comm, buffer, root, layout);
+}
+
+}  // namespace bsb::core

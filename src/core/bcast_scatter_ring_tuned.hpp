@@ -1,0 +1,14 @@
+// MPI_Bcast_opt: the paper's bandwidth-saving broadcast — binomial scatter
+// followed by the tuned (non-enclosed) ring allgather.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::core {
+
+void bcast_scatter_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root);
+
+}  // namespace bsb::core

@@ -1,0 +1,64 @@
+// Persistent broadcast (MPI-4 style, MPI_Bcast_init analogue): resolve the
+// algorithm choice, chunk layout and the tuned ring plan ONCE for a fixed
+// (comm, nbytes, root), then execute the precompiled step list many times.
+// Solvers that broadcast the same-shaped buffer every iteration skip all
+// per-call planning; the step table also makes the tuned ring's structure
+// inspectable (used by tests and the cluster_explorer example).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/chunks.hpp"
+#include "comm/comm.hpp"
+#include "core/bcast.hpp"
+
+namespace bsb::core {
+
+/// One precompiled point-to-point action of the persistent schedule.
+struct BcastStep {
+  enum class Kind : std::uint8_t { Send, Recv, SendRecv } kind = Kind::Send;
+  // send half
+  int dst = -1;
+  std::uint64_t send_off = 0;
+  std::uint64_t send_len = 0;
+  // receive half
+  int src = -1;
+  std::uint64_t recv_off = 0;
+  std::uint64_t recv_len = 0;
+  int tag = 0;
+};
+
+/// A broadcast "compiled" for this rank of `comm` at construction time.
+/// execute() may be called any number of times; the buffer must have the
+/// same size each time (its contents of course change).
+class PersistentBcast {
+ public:
+  /// Plans the same algorithm bcast(comm, buffer, root, cfg) would run.
+  PersistentBcast(Comm& comm, std::uint64_t nbytes, int root,
+                  const BcastConfig& cfg = {});
+
+  /// Run the precompiled schedule. `buffer.size()` must equal nbytes().
+  void execute(std::span<std::byte> buffer) const;
+
+  BcastAlgorithm algorithm() const noexcept { return algorithm_; }
+  std::uint64_t nbytes() const noexcept { return nbytes_; }
+  int root() const noexcept { return root_; }
+
+  /// The step list this rank will run (inspection/testing).
+  const std::vector<BcastStep>& steps() const noexcept { return steps_; }
+
+  /// Human-readable step listing.
+  std::string describe() const;
+
+ private:
+  Comm* comm_;
+  std::uint64_t nbytes_;
+  int root_;
+  BcastAlgorithm algorithm_;
+  std::vector<BcastStep> steps_;
+};
+
+}  // namespace bsb::core

@@ -1,0 +1,54 @@
+#include "core/ring_plan.hpp"
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+
+namespace bsb::core {
+
+RingPlan compute_ring_plan(int relative_rank, int comm_size) {
+  BSB_REQUIRE(comm_size >= 1, "compute_ring_plan: comm_size must be >= 1");
+  BSB_REQUIRE(relative_rank >= 0 && relative_rank < comm_size,
+              "compute_ring_plan: relative_rank out of range");
+  RingPlan plan;
+  if (comm_size == 1) return plan;  // no ring steps at all
+
+  // mask = 2^ceil(log2(P)), halved until it divides this rank or its right
+  // neighbour — i.e. until we find the binomial-subtree block containing
+  // the relevant owned chunks. The right-neighbour test comes first, as in
+  // the paper's pseudo-code.
+  for (std::int64_t mask = static_cast<std::int64_t>(
+           next_pow2(static_cast<std::uint64_t>(comm_size)));
+       mask > 1; mask >>= 1) {
+    const int right_relative_rank =
+        relative_rank + 1 < comm_size ? relative_rank + 1
+                                      : relative_rank + 1 - comm_size;
+    if (right_relative_rank % mask == 0) {
+      plan.step = static_cast<int>(mask);
+      if (right_relative_rank + mask > comm_size) {
+        plan.step = comm_size - right_relative_rank;
+      }
+      plan.recv_only = true;
+      return plan;
+    }
+    if (relative_rank % mask == 0) {
+      plan.step = static_cast<int>(mask);
+      if (relative_rank + mask > comm_size) plan.step = comm_size - relative_rank;
+      plan.recv_only = false;
+      return plan;
+    }
+  }
+  // Unreachable: at mask == 2 one of relative_rank / right neighbour is even.
+  BSB_ASSERT(false, "compute_ring_plan: mask loop failed to classify rank");
+}
+
+int tuned_sends(const RingPlan& plan, int comm_size) noexcept {
+  const int base = comm_size - 1;
+  return plan.recv_only ? base - plan.special_steps() : base;
+}
+
+int tuned_recvs(const RingPlan& plan, int comm_size) noexcept {
+  const int base = comm_size - 1;
+  return plan.recv_only ? base : base - plan.special_steps();
+}
+
+}  // namespace bsb::core

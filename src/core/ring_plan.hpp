@@ -1,0 +1,53 @@
+// The heart of the paper's optimization (Listing 1): each rank derives,
+// purely from its relative position in the binomial scatter tree, at which
+// ring step it may stop sending or stop receiving.
+//
+// After the binomial scatter, relative rank r owns a contiguous block of
+// chunks. Blocks arrive around the ring in decreasing chunk order, so the
+// chunks a rank already owns are exactly the LAST ones the enclosed ring
+// would hand it — and symmetrically, the last chunks it would send to its
+// right neighbour are the ones that neighbour already owns. Hence:
+//
+//  * a rank whose own subtree block has `step` chunks skips its last
+//    step-1 RECEIVES (it becomes send-only — flag=0 in the paper);
+//  * a rank whose RIGHT neighbour's block has `step` chunks skips its last
+//    step-1 SENDS (it becomes receive-only — flag=1 in the paper).
+//
+// The root (block = whole buffer) never receives; the rank left of the
+// root never sends. Every skipped send pairs with exactly one skipped
+// receive on the same ring link, which is what makes the tuned schedule
+// deadlock-free and is checked by RingPlan property tests.
+#pragma once
+
+#include <cstdint>
+
+namespace bsb::core {
+
+struct RingPlan {
+  /// Size (in chunks) of the owned block that triggers the special phase;
+  /// the special phase spans the last `step - 1` of the P-1 ring steps.
+  int step = 1;
+  /// true: receive-only in the special phase (skip sends);
+  /// false: send-only in the special phase (skip receives).
+  bool recv_only = false;
+
+  /// Number of ring steps this rank skips one direction in.
+  int special_steps() const noexcept { return step - 1; }
+};
+
+/// Listing 1's mask loop. `relative_rank` in [0, comm_size).
+RingPlan compute_ring_plan(int relative_rank, int comm_size);
+
+/// True if ring step i (1-based, i in [1, comm_size-1]) falls in the plan's
+/// special (send-only / receive-only) phase.
+constexpr bool is_special_step(const RingPlan& plan, int i, int comm_size) noexcept {
+  return plan.step > comm_size - i;
+}
+
+/// Sends this rank performs over the P-1 tuned ring steps.
+int tuned_sends(const RingPlan& plan, int comm_size) noexcept;
+
+/// Receives this rank performs over the P-1 tuned ring steps.
+int tuned_recvs(const RingPlan& plan, int comm_size) noexcept;
+
+}  // namespace bsb::core

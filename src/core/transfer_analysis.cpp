@@ -1,0 +1,61 @@
+#include "core/transfer_analysis.hpp"
+
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/format.hpp"
+#include "bsbutil/table.hpp"
+#include "comm/chunks.hpp"
+#include "core/ring_plan.hpp"
+
+namespace bsb::core {
+
+std::uint64_t native_ring_transfers(int comm_size) {
+  BSB_REQUIRE(comm_size >= 1, "native_ring_transfers: comm_size >= 1");
+  return static_cast<std::uint64_t>(comm_size) * (comm_size - 1);
+}
+
+std::uint64_t tuned_ring_savings(int comm_size) {
+  BSB_REQUIRE(comm_size >= 1, "tuned_ring_savings: comm_size >= 1");
+  std::uint64_t saved = 0;
+  for (int rel = 0; rel < comm_size; ++rel) {
+    const RingPlan plan = compute_ring_plan(rel, comm_size);
+    if (!plan.recv_only) saved += static_cast<std::uint64_t>(plan.special_steps());
+  }
+  return saved;
+}
+
+std::uint64_t tuned_ring_transfers(int comm_size) {
+  return native_ring_transfers(comm_size) - tuned_ring_savings(comm_size);
+}
+
+std::uint64_t scatter_transfers(int comm_size, std::uint64_t nbytes) {
+  const ChunkLayout layout(nbytes, comm_size);
+  std::uint64_t msgs = 0;
+  for (int rel = 1; rel < comm_size; ++rel) {
+    // A rank receives in the scatter iff its chunk region starts before the
+    // end of the buffer (MPICH skips the receive otherwise).
+    if (static_cast<std::uint64_t>(rel) * layout.scatter_size() < nbytes) ++msgs;
+  }
+  return msgs;
+}
+
+double tuned_saving_fraction(int comm_size) {
+  const std::uint64_t native = native_ring_transfers(comm_size);
+  if (native == 0) return 0.0;
+  return static_cast<double>(tuned_ring_savings(comm_size)) /
+         static_cast<double>(native);
+}
+
+std::string transfer_table(const std::vector<int>& comm_sizes) {
+  Table t({"P", "native P(P-1)", "tuned", "saved", "saved %"});
+  for (int p : comm_sizes) {
+    t.add({std::to_string(p), std::to_string(native_ring_transfers(p)),
+           std::to_string(tuned_ring_transfers(p)),
+           std::to_string(tuned_ring_savings(p)),
+           format_fixed(tuned_saving_fraction(p) * 100.0, 1)});
+  }
+  return t.render();
+}
+
+}  // namespace bsb::core

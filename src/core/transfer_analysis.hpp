@@ -1,0 +1,34 @@
+// Closed-form message-transfer accounting for the native vs. tuned ring
+// allgather — the arithmetic behind the paper's in-text claims (§IV):
+// 8 procs: 56 native, 44 tuned (saving 12); 10 procs: 90 native, 75 tuned
+// (saving 15); savings grow with the process count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsb::core {
+
+/// Messages the enclosed ring exchanges: P * (P - 1).
+std::uint64_t native_ring_transfers(int comm_size);
+
+/// Messages the tuned ring saves: sum over send-only ranks of (step - 1),
+/// each skipped receive pairing with exactly one skipped send.
+std::uint64_t tuned_ring_savings(int comm_size);
+
+/// Messages the tuned ring exchanges: native - savings.
+std::uint64_t tuned_ring_transfers(int comm_size);
+
+/// Messages of the binomial scatter phase (identical for native and tuned):
+/// every non-root rank whose chunk block is nonempty receives exactly once.
+std::uint64_t scatter_transfers(int comm_size, std::uint64_t nbytes);
+
+/// Savings as a fraction of native transfers, e.g. 12/56 at P=8.
+double tuned_saving_fraction(int comm_size);
+
+/// Tabulated summary for a range of process counts (used by the
+/// transfer-count bench and DESIGN/EXPERIMENTS docs).
+std::string transfer_table(const std::vector<int>& comm_sizes);
+
+}  // namespace bsb::core

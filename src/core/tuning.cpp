@@ -1,0 +1,76 @@
+#include "core/tuning.hpp"
+
+#include <cstdlib>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::core {
+
+namespace {
+
+std::uint64_t parse_bytes(const std::string& name, const std::string& value) {
+  std::size_t pos = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos, 10);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  // Accept K/M/G suffixes (base-2, matching the paper's unit convention).
+  std::uint64_t scale = 1;
+  if (pos < value.size()) {
+    switch (value[pos]) {
+      case 'k': case 'K': scale = 1024; ++pos; break;
+      case 'm': case 'M': scale = 1024 * 1024; ++pos; break;
+      case 'g': case 'G': scale = 1024ULL * 1024 * 1024; ++pos; break;
+      default: break;
+    }
+  }
+  BSB_REQUIRE(pos == value.size() && !value.empty(),
+              ("tuning: cannot parse " + name + "='" + value + "'").c_str());
+  return parsed * scale;
+}
+
+bool parse_bool(const std::string& name, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "off" || value == "no") return false;
+  BSB_REQUIRE(false, ("tuning: cannot parse " + name + "='" + value +
+                      "' as a boolean").c_str());
+  return false;  // unreachable
+}
+
+}  // namespace
+
+BcastConfig load_bcast_config(const EnvLookup& lookup, BcastConfig base) {
+  BcastConfig cfg = base;
+  if (const auto v = lookup("BSB_BCAST_SMSG_LIMIT")) {
+    cfg.smsg_limit = parse_bytes("BSB_BCAST_SMSG_LIMIT", *v);
+  }
+  if (const auto v = lookup("BSB_BCAST_MMSG_LIMIT")) {
+    cfg.mmsg_limit = parse_bytes("BSB_BCAST_MMSG_LIMIT", *v);
+  }
+  if (const auto v = lookup("BSB_BCAST_MIN_PROCS")) {
+    cfg.min_procs_for_scatter =
+        static_cast<int>(parse_bytes("BSB_BCAST_MIN_PROCS", *v));
+  }
+  if (const auto v = lookup("BSB_BCAST_USE_TUNED_RING")) {
+    cfg.use_tuned_ring = parse_bool("BSB_BCAST_USE_TUNED_RING", *v);
+  }
+  BSB_REQUIRE(cfg.smsg_limit <= cfg.mmsg_limit,
+              "tuning: smsg limit must not exceed mmsg limit");
+  BSB_REQUIRE(cfg.min_procs_for_scatter >= 1,
+              "tuning: min procs must be at least 1");
+  return cfg;
+}
+
+BcastConfig load_bcast_config_from_env(BcastConfig base) {
+  return load_bcast_config(
+      [](const std::string& name) -> std::optional<std::string> {
+        const char* v = std::getenv(name.c_str());
+        if (v == nullptr) return std::nullopt;
+        return std::string(v);
+      },
+      base);
+}
+
+}  // namespace bsb::core

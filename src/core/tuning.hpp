@@ -1,0 +1,31 @@
+// Runtime tuning of the broadcast selector, MPICH-CVAR style: thresholds
+// and the tuned-ring toggle can be overridden through environment
+// variables (or any string map, for tests):
+//
+//   BSB_BCAST_SMSG_LIMIT       bytes; below -> binomial      (default 12288)
+//   BSB_BCAST_MMSG_LIMIT       bytes; below+pof2 -> rd       (default 524288)
+//   BSB_BCAST_MIN_PROCS        ranks; below -> binomial      (default 8)
+//   BSB_BCAST_USE_TUNED_RING   0/1/true/false/on/off         (default 1)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/bcast.hpp"
+
+namespace bsb::core {
+
+/// Looks a variable up by name; returns nullopt when unset. The default
+/// production lookup reads the process environment.
+using EnvLookup = std::function<std::optional<std::string>(const std::string&)>;
+
+/// Build a BcastConfig from `lookup`, starting from `base`. Unset
+/// variables keep their base values. Throws PreconditionError on values
+/// that do not parse or violate smsg <= mmsg / min_procs >= 1.
+BcastConfig load_bcast_config(const EnvLookup& lookup, BcastConfig base = {});
+
+/// load_bcast_config over the real process environment.
+BcastConfig load_bcast_config_from_env(BcastConfig base = {});
+
+}  // namespace bsb::core

@@ -1,0 +1,343 @@
+#include "mpi/mpi.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/allgather_bruck.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/comm_split.hpp"
+#include "coll/gather_binomial.hpp"
+#include "coll/reduce.hpp"
+#include "coll/scatter.hpp"
+#include "comm/subcomm.hpp"
+#include "core/bcast.hpp"
+#include "core/tuning.hpp"
+#include "mpisim/thread_comm.hpp"
+
+namespace bsb::mpi {
+
+namespace {
+
+/// Everything a rank-thread needs between run() entry and exit. Handle i
+/// indexes `comms`; slot 0 is the world.
+struct RankContext {
+  mpisim::ThreadComm* world = nullptr;
+  std::vector<std::unique_ptr<SubComm>> subcomms;  // handle = index + 1
+  std::vector<bool> freed;                          // parallel to subcomms
+  int split_sequence = 0;  // same on all ranks when calls are ordered alike
+  core::BcastConfig bcast_cfg;
+};
+
+thread_local RankContext* tls_ctx = nullptr;
+
+RankContext& ctx() {
+  BSB_REQUIRE(tls_ctx != nullptr,
+              "bsb::mpi: MPI_* called outside bsb::mpi::run()");
+  return *tls_ctx;
+}
+
+std::span<const std::byte> send_span(const void* buf, int count,
+                                     MPI_Datatype datatype) {
+  BSB_REQUIRE(count >= 0, "bsb::mpi: negative count");
+  return {static_cast<const std::byte*>(buf),
+          static_cast<std::size_t>(count) * datatype_size(datatype)};
+}
+
+std::span<std::byte> recv_span(void* buf, int count, MPI_Datatype datatype) {
+  BSB_REQUIRE(count >= 0, "bsb::mpi: negative count");
+  return {static_cast<std::byte*>(buf),
+          static_cast<std::size_t>(count) * datatype_size(datatype)};
+}
+
+void fill_status(MPI_Status* status, const Status& st) {
+  if (status == MPI_STATUS_IGNORE) return;
+  status->MPI_SOURCE = st.source;
+  status->MPI_TAG = st.tag;
+  status->internal_bytes = static_cast<int>(st.bytes);
+}
+
+template <typename T>
+void typed_reduce(Comm& c, const void* in, void* out, int count, MPI_Op op,
+                  int root) {
+  const std::span<const T> vin{static_cast<const T*>(in),
+                               static_cast<std::size_t>(count)};
+  const std::span<T> vout{static_cast<T*>(out),
+                          c.rank() == root ? static_cast<std::size_t>(count) : 0};
+  switch (op) {
+    case MPI_SUM: coll::reduce_binomial(c, vin, vout, coll::SumOp{}, root); return;
+    case MPI_MAX: coll::reduce_binomial(c, vin, vout, coll::MaxOp{}, root); return;
+    case MPI_MIN: coll::reduce_binomial(c, vin, vout, coll::MinOp{}, root); return;
+  }
+  BSB_REQUIRE(false, "bsb::mpi: unknown MPI_Op");
+}
+
+template <typename T>
+void typed_allreduce(Comm& c, void* buf, int count, MPI_Op op) {
+  const std::span<T> v{static_cast<T*>(buf), static_cast<std::size_t>(count)};
+  switch (op) {
+    case MPI_SUM: coll::allreduce(c, v, coll::SumOp{}); return;
+    case MPI_MAX: coll::allreduce(c, v, coll::MaxOp{}); return;
+    case MPI_MIN: coll::allreduce(c, v, coll::MinOp{}); return;
+  }
+  BSB_REQUIRE(false, "bsb::mpi: unknown MPI_Op");
+}
+
+}  // namespace
+
+std::size_t datatype_size(MPI_Datatype datatype) {
+  switch (datatype) {
+    case MPI_BYTE: return 1;
+    case MPI_CHAR: return 1;
+    case MPI_INT: return sizeof(int);
+    case MPI_DOUBLE: return sizeof(double);
+    case MPI_INT64_T: return sizeof(std::int64_t);
+  }
+  BSB_REQUIRE(false, "bsb::mpi: unknown MPI_Datatype");
+  return 0;
+}
+
+Comm& comm_of(MPI_Comm comm) {
+  RankContext& c = ctx();
+  if (comm == MPI_COMM_WORLD) return *c.world;
+  const int idx = comm - 1;
+  BSB_REQUIRE(idx >= 0 && idx < static_cast<int>(c.subcomms.size()) &&
+                  !c.freed[idx],
+              "bsb::mpi: invalid or freed communicator handle");
+  return *c.subcomms[idx];
+}
+
+RunStats run(int nranks, const std::function<void()>& rank_main,
+             mpisim::WorldConfig cfg) {
+  mpisim::World world(nranks, cfg);
+  world.run([&](mpisim::ThreadComm& comm) {
+    RankContext context;
+    context.world = &comm;
+    context.bcast_cfg = core::load_bcast_config_from_env();
+    tls_ctx = &context;
+    try {
+      rank_main();
+    } catch (...) {
+      tls_ctx = nullptr;
+      throw;
+    }
+    tls_ctx = nullptr;
+  });
+  return RunStats{world.total_msgs(), world.total_bytes()};
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  *rank = comm_of(comm).rank();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  *size = comm_of(comm).size();
+  return MPI_SUCCESS;
+}
+
+double MPI_Wtime() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm) {
+  comm_of(comm).send(send_span(buf, count, datatype), dest, tag);
+  return MPI_SUCCESS;
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+  const Status st = comm_of(comm).recv(recv_span(buf, count, datatype),
+                                       source == MPI_ANY_SOURCE ? kAnySource
+                                                                : source,
+                                       tag == MPI_ANY_TAG ? kAnyTag : tag);
+  fill_status(status, st);
+  return MPI_SUCCESS;
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void* recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag, MPI_Comm comm,
+                 MPI_Status* status) {
+  const Status st = comm_of(comm).sendrecv(
+      send_span(sendbuf, sendcount, sendtype), dest, sendtag,
+      recv_span(recvbuf, recvcount, recvtype),
+      source == MPI_ANY_SOURCE ? kAnySource : source,
+      recvtag == MPI_ANY_TAG ? kAnyTag : recvtag);
+  fill_status(status, st);
+  return MPI_SUCCESS;
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count) {
+  BSB_REQUIRE(status != nullptr, "bsb::mpi: MPI_Get_count on null status");
+  const std::size_t elem = datatype_size(datatype);
+  BSB_REQUIRE(status->internal_bytes % elem == 0,
+              "bsb::mpi: received byte count is not a whole element count");
+  *count = static_cast<int>(status->internal_bytes / elem);
+  return MPI_SUCCESS;
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  comm_of(comm).barrier();
+  return MPI_SUCCESS;
+}
+
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root,
+              MPI_Comm comm) {
+  core::bcast(comm_of(comm), recv_span(buffer, count, datatype), root,
+              ctx().bcast_cfg);
+  return MPI_SUCCESS;
+}
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm) {
+  Comm& c = comm_of(comm);
+  switch (datatype) {
+    case MPI_INT: typed_reduce<int>(c, sendbuf, recvbuf, count, op, root); break;
+    case MPI_DOUBLE:
+      typed_reduce<double>(c, sendbuf, recvbuf, count, op, root);
+      break;
+    case MPI_INT64_T:
+      typed_reduce<std::int64_t>(c, sendbuf, recvbuf, count, op, root);
+      break;
+    default:
+      BSB_REQUIRE(false, "bsb::mpi: MPI_Reduce supports INT/DOUBLE/INT64_T");
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  // MPI copies sendbuf to recvbuf first (we do not support MPI_IN_PLACE's
+  // aliasing subtleties; pass distinct buffers or equal pointers).
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(datatype);
+  if (sendbuf != recvbuf && bytes > 0) std::memcpy(recvbuf, sendbuf, bytes);
+  Comm& c = comm_of(comm);
+  switch (datatype) {
+    case MPI_INT: typed_allreduce<int>(c, recvbuf, count, op); break;
+    case MPI_DOUBLE: typed_allreduce<double>(c, recvbuf, count, op); break;
+    case MPI_INT64_T: typed_allreduce<std::int64_t>(c, recvbuf, count, op); break;
+    default:
+      BSB_REQUIRE(false, "bsb::mpi: MPI_Allreduce supports INT/DOUBLE/INT64_T");
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm) {
+  Comm& c = comm_of(comm);
+  const std::size_t block = static_cast<std::size_t>(sendcount) *
+                            datatype_size(sendtype);
+  BSB_REQUIRE(c.rank() != root ||
+                  static_cast<std::size_t>(recvcount) * datatype_size(recvtype) ==
+                      block,
+              "bsb::mpi: MPI_Gather send/recv block size mismatch");
+  coll::gather_binomial(
+      c, send_span(sendbuf, sendcount, sendtype),
+      c.rank() == root
+          ? std::span<std::byte>(static_cast<std::byte*>(recvbuf),
+                                 block * static_cast<std::size_t>(c.size()))
+          : std::span<std::byte>{},
+      block, root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                MPI_Comm comm) {
+  Comm& c = comm_of(comm);
+  const std::size_t block =
+      static_cast<std::size_t>(recvcount) * datatype_size(recvtype);
+  BSB_REQUIRE(c.rank() != root ||
+                  static_cast<std::size_t>(sendcount) * datatype_size(sendtype) ==
+                      block,
+              "bsb::mpi: MPI_Scatter send/recv block size mismatch");
+  coll::scatter(c,
+                c.rank() == root
+                    ? std::span<const std::byte>(
+                          static_cast<const std::byte*>(sendbuf),
+                          block * static_cast<std::size_t>(c.size()))
+                    : std::span<const std::byte>{},
+                recv_span(recvbuf, recvcount, recvtype), block, root);
+  return MPI_SUCCESS;
+}
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm) {
+  Comm& c = comm_of(comm);
+  const std::size_t block =
+      static_cast<std::size_t>(sendcount) * datatype_size(sendtype);
+  BSB_REQUIRE(static_cast<std::size_t>(recvcount) * datatype_size(recvtype) ==
+                  block,
+              "bsb::mpi: MPI_Allgather send/recv block size mismatch");
+  const std::span<std::byte> all{static_cast<std::byte*>(recvbuf),
+                                 block * static_cast<std::size_t>(c.size())};
+  if (block > 0) {
+    std::memcpy(all.data() + static_cast<std::size_t>(c.rank()) * block,
+                sendbuf, block);
+  }
+  coll::allgather_bruck(c, all, block);
+  return MPI_SUCCESS;
+}
+
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm) {
+  Comm& c = comm_of(comm);
+  const std::size_t block =
+      static_cast<std::size_t>(sendcount) * datatype_size(sendtype);
+  BSB_REQUIRE(static_cast<std::size_t>(recvcount) * datatype_size(recvtype) ==
+                  block,
+              "bsb::mpi: MPI_Alltoall send/recv block size mismatch");
+  const std::size_t total = block * static_cast<std::size_t>(c.size());
+  coll::alltoall_pairwise(
+      c, {static_cast<const std::byte*>(sendbuf), total},
+      {static_cast<std::byte*>(recvbuf), total}, block);
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  BSB_REQUIRE(comm == MPI_COMM_WORLD,
+              "bsb::mpi: MPI_Comm_split currently splits MPI_COMM_WORLD only "
+              "(nested SubComms would double-shift tags)");
+  RankContext& c = ctx();
+  // A deterministic context range per split call; all ranks must make
+  // split calls in the same order, which MPI requires anyway.
+  const int base_context = 1000 + 64 * c.split_sequence++;
+  auto sub = coll::comm_split(*c.world, color == MPI_UNDEFINED
+                                            ? coll::kUndefinedColor
+                                            : color,
+                              key, base_context);
+  if (!sub.has_value()) {
+    *newcomm = MPI_COMM_NULL;
+    return MPI_SUCCESS;
+  }
+  c.subcomms.push_back(std::make_unique<SubComm>(std::move(*sub)));
+  c.freed.push_back(false);
+  *newcomm = static_cast<int>(c.subcomms.size());  // index + 1
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+  BSB_REQUIRE(comm != nullptr && *comm != MPI_COMM_WORLD,
+              "bsb::mpi: cannot free MPI_COMM_WORLD");
+  if (*comm == MPI_COMM_NULL) return MPI_SUCCESS;
+  RankContext& c = ctx();
+  const int idx = *comm - 1;
+  BSB_REQUIRE(idx >= 0 && idx < static_cast<int>(c.subcomms.size()) &&
+                  !c.freed[idx],
+              "bsb::mpi: double free of communicator");
+  c.freed[idx] = true;
+  *comm = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+}  // namespace bsb::mpi

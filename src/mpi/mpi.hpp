@@ -1,0 +1,119 @@
+// MPI-compatibility facade: a C-style MPI_* surface over the thread-backed
+// runtime, so MPI application code — including the paper's own Listing 1 —
+// ports with little more than an include swap. Coverage: the point-to-point
+// and collective subset this project needs (send/recv/sendrecv, bcast,
+// reduce, allreduce, gather, barrier, comm_split, wtime, get_count).
+//
+// Usage:
+//   bsb::mpi::run(10, [] {
+//     using namespace bsb::mpi;
+//     int rank; MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+//     MPI_Bcast(buf, len, MPI_BYTE, 0, MPI_COMM_WORLD);
+//   });
+//
+// Differences from real MPI, by design:
+//  * run() replaces mpirun + MPI_Init/Finalize (ranks are threads);
+//  * errors are fatal (bsb exceptions propagate) — the default
+//    MPI_ERRORS_ARE_FATAL behaviour — and every call returns MPI_SUCCESS;
+//  * communicators are per-rank handles created by MPI_Comm_split; all
+//    ranks must issue split calls in the same order (standard MPI rule);
+//  * MPI_Bcast uses THIS library's MPICH3-style selection with the tuned
+//    ring enabled (override via BSB_BCAST_USE_TUNED_RING).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "comm/comm.hpp"
+#include "mpisim/world.hpp"
+
+namespace bsb::mpi {
+
+using MPI_Comm = int;
+inline constexpr MPI_Comm MPI_COMM_WORLD = 0;
+inline constexpr MPI_Comm MPI_COMM_NULL = -1;
+
+using MPI_Datatype = int;
+inline constexpr MPI_Datatype MPI_BYTE = 0;
+inline constexpr MPI_Datatype MPI_CHAR = 1;
+inline constexpr MPI_Datatype MPI_INT = 2;
+inline constexpr MPI_Datatype MPI_DOUBLE = 3;
+inline constexpr MPI_Datatype MPI_INT64_T = 4;
+
+using MPI_Op = int;
+inline constexpr MPI_Op MPI_SUM = 0;
+inline constexpr MPI_Op MPI_MAX = 1;
+inline constexpr MPI_Op MPI_MIN = 2;
+
+inline constexpr int MPI_ANY_SOURCE = -1;
+inline constexpr int MPI_ANY_TAG = -1;
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_UNDEFINED = -1;
+
+struct MPI_Status {
+  int MPI_SOURCE = -1;
+  int MPI_TAG = -1;
+  int internal_bytes = 0;  // backs MPI_Get_count
+};
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+
+/// Traffic totals of one run() (from the runtime's counters).
+struct RunStats {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Launch `rank_main` on `nranks` rank-threads with MPI_COMM_WORLD bound.
+/// Rethrows the first rank failure (fatal-error semantics). Returns the
+/// total point-to-point traffic the run generated.
+RunStats run(int nranks, const std::function<void()>& rank_main,
+             mpisim::WorldConfig cfg = {});
+
+// --- environment ----------------------------------------------------------
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+double MPI_Wtime();
+
+// --- point-to-point ---------------------------------------------------------
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status* status);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 int dest, int sendtag, void* recvbuf, int recvcount,
+                 MPI_Datatype recvtype, int source, int recvtag, MPI_Comm comm,
+                 MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count);
+
+// --- collectives ------------------------------------------------------------
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root,
+              MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype datatype, MPI_Op op, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm);
+
+// --- communicators ----------------------------------------------------------
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+
+/// The underlying Comm& for a handle (bridge into the native bsb API).
+Comm& comm_of(MPI_Comm comm);
+
+/// Element size of a datatype in bytes.
+std::size_t datatype_size(MPI_Datatype datatype);
+
+}  // namespace bsb::mpi

@@ -1,0 +1,22 @@
+// Runtime error types raised by the thread-backed message-passing backend.
+#pragma once
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::mpisim {
+
+/// A matched send was larger than the posted receive buffer
+/// (MPI_ERR_TRUNCATE). Raised on both sides of the match.
+class TruncationError : public Error {
+ public:
+  explicit TruncationError(const std::string& what) : Error(what) {}
+};
+
+/// A blocking operation exceeded the configured watchdog timeout; the rank
+/// set is almost certainly deadlocked. Converts test hangs into failures.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace bsb::mpisim

@@ -1,0 +1,273 @@
+#include "mpisim/thread_comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "bsbutil/error.hpp"
+#include "mpisim/errors.hpp"
+
+namespace bsb::mpisim {
+
+namespace {
+
+bool matches(int want_src, int want_tag, int src, int tag) noexcept {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+void copy_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+}
+
+std::chrono::steady_clock::time_point deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Request
+
+struct Request::State {
+  // Exactly one of `recv` / `sendc` is set; `box` is the mailbox whose
+  // condition variable announces completion.
+  std::shared_ptr<detail::PendingRecv> recv;
+  std::shared_ptr<detail::SendCompletion> sendc;
+  detail::Mailbox* box = nullptr;
+  double watchdog_seconds = 60.0;
+  Status immediate;   // for operations that completed inline
+  bool inline_done = false;
+};
+
+void Request::wait() { (void)wait_status(); }
+
+Status Request::wait_status() {
+  if (!state_) return {};
+  State& s = *state_;
+  if (s.inline_done) return s.immediate;
+  BSB_ASSERT(s.box != nullptr, "Request: incomplete state without mailbox");
+  std::unique_lock<std::mutex> lk(s.box->mu);
+  const auto deadline = deadline_after(s.watchdog_seconds);
+  auto done = [&] {
+    if (s.recv) return s.recv->done;
+    return s.sendc->done;
+  };
+  while (!done()) {
+    if (s.box->cv.wait_until(lk, deadline) == std::cv_status::timeout && !done()) {
+      throw DeadlockError(
+          "request: watchdog expired waiting for a matching peer operation");
+    }
+  }
+  if (s.recv) {
+    if (!s.recv->error.empty()) throw TruncationError(s.recv->error);
+    return s.recv->status;
+  }
+  if (!s.sendc->error.empty()) throw TruncationError(s.sendc->error);
+  return {};
+}
+
+bool Request::test() const {
+  if (!state_) return true;
+  const State& s = *state_;
+  if (s.inline_done) return true;
+  const std::lock_guard<std::mutex> lk(s.box->mu);
+  return s.recv ? s.recv->done : s.sendc->done;
+}
+
+void wait_all(std::span<Request> requests) {
+  std::exception_ptr first_error;
+  for (Request& r : requests) {
+    try {
+      r.wait();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// ------------------------------------------------------------- ThreadComm
+
+Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
+  BSB_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
+  BSB_REQUIRE(tag >= 0, "send: tag must be nonnegative");
+  world_->count_send(rank_, dest, buf.size());
+
+  detail::Mailbox& box = world_->mailbox(dest);
+  const std::lock_guard<std::mutex> lk(box.mu);
+
+  // 1. A matching receive is already posted: deliver straight into it.
+  const auto it = std::find_if(
+      box.pending.begin(), box.pending.end(), [&](const auto& pr) {
+        return matches(pr->src, pr->tag, rank_, tag);
+      });
+  if (it != box.pending.end()) {
+    const std::shared_ptr<detail::PendingRecv> pr = *it;
+    box.pending.erase(it);
+    if (buf.size() > pr->buf.size()) {
+      pr->error = "truncation: " + std::to_string(buf.size()) +
+                  "-byte message into " + std::to_string(pr->buf.size()) +
+                  "-byte receive buffer (src " + std::to_string(rank_) +
+                  ", tag " + std::to_string(tag) + ")";
+      pr->done = true;
+      box.cv.notify_all();
+      throw TruncationError(pr->error);
+    }
+    copy_bytes(pr->buf, buf);
+    pr->status = Status{rank_, tag, buf.size()};
+    pr->done = true;
+    box.cv.notify_all();
+    Request req;
+    req.state_ = std::make_shared<Request::State>();
+    req.state_->inline_done = true;
+    return req;
+  }
+
+  // 2. Eager: copy into the mailbox and complete immediately.
+  if (buf.size() <= world_->config().eager_threshold) {
+    detail::Arrival arr;
+    arr.src = rank_;
+    arr.tag = tag;
+    arr.eager = true;
+    arr.payload.assign(buf.begin(), buf.end());
+    box.arrivals.push_back(std::move(arr));
+    box.cv.notify_all();
+    Request req;
+    req.state_ = std::make_shared<Request::State>();
+    req.state_->inline_done = true;
+    return req;
+  }
+
+  // 3. Rendezvous: advertise the source buffer; completion happens when the
+  //    receiver copies out of it.
+  detail::Arrival arr;
+  arr.src = rank_;
+  arr.tag = tag;
+  arr.eager = false;
+  arr.src_view = buf;
+  arr.completion = std::make_shared<detail::SendCompletion>();
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->sendc = arr.completion;
+  req.state_->box = &box;
+  req.state_->watchdog_seconds = world_->config().watchdog_seconds;
+  box.arrivals.push_back(std::move(arr));
+  box.cv.notify_all();
+  return req;
+}
+
+Request ThreadComm::irecv(std::span<std::byte> buf, int source, int tag) {
+  BSB_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
+              "recv: source out of range");
+  BSB_REQUIRE(tag == kAnyTag || tag >= 0, "recv: bad tag");
+
+  detail::Mailbox& box = world_->mailbox(rank_);
+  const std::lock_guard<std::mutex> lk(box.mu);
+
+  // 1. A matching message already arrived: consume it now.
+  const auto it = std::find_if(
+      box.arrivals.begin(), box.arrivals.end(), [&](const detail::Arrival& a) {
+        return matches(source, tag, a.src, a.tag);
+      });
+  if (it != box.arrivals.end()) {
+    detail::Arrival arr = std::move(*it);
+    box.arrivals.erase(it);
+    if (arr.size() > buf.size()) {
+      const std::string err = "truncation: " + std::to_string(arr.size()) +
+                              "-byte message into " + std::to_string(buf.size()) +
+                              "-byte receive buffer (src " + std::to_string(arr.src) +
+                              ", tag " + std::to_string(arr.tag) + ")";
+      if (arr.completion) {
+        arr.completion->error = err;
+        arr.completion->done = true;
+        box.cv.notify_all();
+      }
+      throw TruncationError(err);
+    }
+    if (arr.eager) {
+      copy_bytes(buf, arr.payload);
+    } else {
+      copy_bytes(buf, arr.src_view);
+      arr.completion->done = true;
+      box.cv.notify_all();
+    }
+    Request req;
+    req.state_ = std::make_shared<Request::State>();
+    req.state_->inline_done = true;
+    req.state_->immediate = Status{arr.src, arr.tag, arr.size()};
+    return req;
+  }
+
+  // 2. Post the receive and wait for a sender to match it.
+  auto pr = std::make_shared<detail::PendingRecv>();
+  pr->src = source;
+  pr->tag = tag;
+  pr->buf = buf;
+  box.pending.push_back(pr);
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->recv = std::move(pr);
+  req.state_->box = &box;
+  req.state_->watchdog_seconds = world_->config().watchdog_seconds;
+  return req;
+}
+
+std::optional<Status> ThreadComm::iprobe(int source, int tag) {
+  BSB_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
+              "probe: source out of range");
+  detail::Mailbox& box = world_->mailbox(rank_);
+  const std::lock_guard<std::mutex> lk(box.mu);
+  const auto it = std::find_if(
+      box.arrivals.begin(), box.arrivals.end(), [&](const detail::Arrival& a) {
+        return matches(source, tag, a.src, a.tag);
+      });
+  if (it == box.arrivals.end()) return std::nullopt;
+  return Status{it->src, it->tag, it->size()};
+}
+
+Status ThreadComm::probe(int source, int tag) {
+  BSB_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
+              "probe: source out of range");
+  detail::Mailbox& box = world_->mailbox(rank_);
+  std::unique_lock<std::mutex> lk(box.mu);
+  const auto deadline = deadline_after(world_->config().watchdog_seconds);
+  auto scan = [&]() -> const detail::Arrival* {
+    const auto it = std::find_if(
+        box.arrivals.begin(), box.arrivals.end(), [&](const detail::Arrival& a) {
+          return matches(source, tag, a.src, a.tag);
+        });
+    return it == box.arrivals.end() ? nullptr : &*it;
+  };
+  while (true) {
+    if (const detail::Arrival* a = scan()) return Status{a->src, a->tag, a->size()};
+    if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (const detail::Arrival* a = scan()) {
+        return Status{a->src, a->tag, a->size()};
+      }
+      throw DeadlockError("probe: watchdog expired; no matching message arrived");
+    }
+  }
+}
+
+void ThreadComm::send(std::span<const std::byte> buf, int dest, int tag) {
+  isend(buf, dest, tag).wait();
+}
+
+Status ThreadComm::recv(std::span<std::byte> buf, int source, int tag) {
+  return irecv(buf, source, tag).wait_status();
+}
+
+Status ThreadComm::sendrecv(std::span<const std::byte> sendbuf, int dest, int sendtag,
+                            std::span<std::byte> recvbuf, int source, int recvtag) {
+  // Post the receive before the (possibly blocking) send so that rings of
+  // sendrecv calls always make progress, exactly as MPI_Sendrecv must.
+  Request r = irecv(recvbuf, source, recvtag);
+  send(sendbuf, dest, sendtag);
+  return r.wait_status();
+}
+
+void ThreadComm::barrier() { world_->barrier_wait(); }
+
+}  // namespace bsb::mpisim

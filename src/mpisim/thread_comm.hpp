@@ -1,0 +1,81 @@
+// ThreadComm: one rank's endpoint into a mpisim::World, implementing the
+// abstract Comm interface plus nonblocking isend/irecv with Request
+// objects (used internally by the full-duplex sendrecv and available to
+// applications).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "comm/comm.hpp"
+#include "mpisim/world.hpp"
+
+namespace bsb::mpisim {
+
+/// Handle for a nonblocking operation. Copyable (shared state); wait() may
+/// be called once per logical completion; test() polls.
+class Request {
+ public:
+  Request() = default;  // empty request: already complete
+
+  /// Block until the operation completes; throws the operation's error.
+  void wait();
+
+  /// wait(), returning the receive Status (empty Status for sends).
+  Status wait_status();
+
+  /// True iff the operation has completed (does not throw on error; the
+  /// error is reported by wait()).
+  bool test() const;
+
+ private:
+  friend class ThreadComm;
+
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Block until every request in `requests` completes (MPI_Waitall).
+/// Throws the first error encountered (after attempting all waits, so no
+/// request is left dangling on the error path).
+void wait_all(std::span<Request> requests);
+
+class ThreadComm final : public Comm {
+ public:
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return world_->size(); }
+
+  void send(std::span<const std::byte> buf, int dest, int tag) override;
+  Status recv(std::span<std::byte> buf, int source, int tag) override;
+  Status sendrecv(std::span<const std::byte> sendbuf, int dest, int sendtag,
+                  std::span<std::byte> recvbuf, int source, int recvtag) override;
+  void barrier() override;
+
+  /// Nonblocking send. For rendezvous-size messages `buf` must stay valid
+  /// and unmodified until the request completes (MPI semantics).
+  Request isend(std::span<const std::byte> buf, int dest, int tag);
+
+  /// Nonblocking receive; `buf` must stay valid until completion.
+  Request irecv(std::span<std::byte> buf, int source, int tag);
+
+  /// Nonblocking probe (MPI_Iprobe): the Status of the first matching
+  /// message already in the mailbox, without consuming it, or nullopt if
+  /// none has arrived yet. Wildcards allowed.
+  std::optional<Status> iprobe(int source, int tag);
+
+  /// Blocking probe (MPI_Probe): waits until a matching message is
+  /// available and returns its Status (message stays queued). Subject to
+  /// the world's deadlock watchdog.
+  Status probe(int source, int tag);
+
+  World& world() noexcept { return *world_; }
+
+ private:
+  friend class World;
+  ThreadComm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace bsb::mpisim

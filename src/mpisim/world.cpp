@@ -1,0 +1,105 @@
+#include "mpisim/world.hpp"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "bsbutil/error.hpp"
+#include "mpisim/errors.hpp"
+#include "mpisim/thread_comm.hpp"
+
+namespace bsb::mpisim {
+
+World::World(int nranks, WorldConfig cfg) : nranks_(nranks), cfg_(cfg) {
+  BSB_REQUIRE(nranks > 0, "World: nranks must be positive");
+  BSB_REQUIRE(cfg.watchdog_seconds > 0, "World: watchdog must be positive");
+  mailboxes_.reserve(nranks);
+  comms_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+    comms_.push_back(std::unique_ptr<ThreadComm>(new ThreadComm(*this, r)));
+  }
+  stat_msgs_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(nranks) * nranks);
+  stat_bytes_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(nranks) * nranks);
+}
+
+World::~World() = default;
+
+ThreadComm& World::comm(int rank) {
+  BSB_REQUIRE(rank >= 0 && rank < nranks_, "World: rank out of range");
+  return *comms_[rank];
+}
+
+void World::run(const std::function<void(ThreadComm&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(nranks_);
+  std::mutex emu;
+  std::exception_ptr first_error;
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(*comms_[r]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lk(emu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::count_send(int src, int dst, std::size_t bytes) noexcept {
+  const std::size_t idx = static_cast<std::size_t>(src) * nranks_ + dst;
+  stat_msgs_[idx].fetch_add(1, std::memory_order_relaxed);
+  stat_bytes_[idx].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+PairStats World::pair_stats(int src, int dst) const {
+  BSB_REQUIRE(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
+              "World: pair_stats rank out of range");
+  const std::size_t idx = static_cast<std::size_t>(src) * nranks_ + dst;
+  return {stat_msgs_[idx].load(std::memory_order_relaxed),
+          stat_bytes_[idx].load(std::memory_order_relaxed)};
+}
+
+std::uint64_t World::total_msgs() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& a : stat_msgs_) n += a.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t World::total_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& a : stat_bytes_) n += a.load(std::memory_order_relaxed);
+  return n;
+}
+
+void World::reset_stats() noexcept {
+  for (auto& a : stat_msgs_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : stat_bytes_) a.store(0, std::memory_order_relaxed);
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lk(barrier_mu_);
+  const bool sense = barrier_sense_;
+  if (++barrier_waiting_ == nranks_) {
+    barrier_waiting_ = 0;
+    barrier_sense_ = !barrier_sense_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(cfg_.watchdog_seconds));
+  while (barrier_sense_ == sense) {
+    if (barrier_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        barrier_sense_ == sense) {
+      throw DeadlockError("barrier: watchdog expired; some rank never arrived");
+    }
+  }
+}
+
+}  // namespace bsb::mpisim

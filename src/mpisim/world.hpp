@@ -1,0 +1,135 @@
+// World: a set of ranks running as threads inside one process, exchanging
+// real bytes through matched mailboxes. This is the functional substrate
+// standing in for an MPI library + cluster: collective algorithms run on it
+// unmodified and their result buffers are checked for correctness.
+//
+// Semantics implemented (see comm/comm.hpp for the contract):
+//  * (source, tag) matching with MPI's non-overtaking order, including
+//    MPI_ANY_SOURCE / MPI_ANY_TAG wildcards;
+//  * eager protocol below `eager_threshold` (send buffers and returns) and
+//    rendezvous above it (send blocks until the receive is matched), so
+//    algorithmic deadlocks reproduce here just as they would on MPICH;
+//  * truncation errors on both sides of an oversized match;
+//  * a watchdog that turns deadlocks into DeadlockError instead of hangs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "comm/status.hpp"
+
+namespace bsb::mpisim {
+
+class ThreadComm;
+
+struct WorldConfig {
+  /// Messages at most this size are buffered by the runtime (eager); larger
+  /// ones block the sender until the receiver matches (rendezvous).
+  std::size_t eager_threshold = 65536;
+  /// Blocking operations throw DeadlockError after this many seconds.
+  double watchdog_seconds = 60.0;
+};
+
+/// Message and byte counts for one (source, dest) pair.
+struct PairStats {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+};
+
+namespace detail {
+
+/// Sender-side completion handle for rendezvous sends.
+struct SendCompletion {
+  bool done = false;
+  std::string error;  // non-empty => the match failed (truncation)
+};
+
+/// A message sitting in the destination's mailbox, not yet matched.
+struct Arrival {
+  int src = -1;
+  int tag = -1;
+  bool eager = true;
+  std::vector<std::byte> payload;                    // eager copy
+  std::span<const std::byte> src_view;               // rendezvous view
+  std::shared_ptr<SendCompletion> completion;        // rendezvous only
+  std::size_t size() const noexcept {
+    return eager ? payload.size() : src_view.size();
+  }
+};
+
+/// A posted receive waiting for a matching message.
+struct PendingRecv {
+  int src = -1;  // may be kAnySource
+  int tag = -1;  // may be kAnyTag
+  std::span<std::byte> buf;
+  bool done = false;
+  std::string error;
+  Status status;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Arrival> arrivals;
+  std::deque<std::shared_ptr<PendingRecv>> pending;
+};
+
+}  // namespace detail
+
+class World {
+ public:
+  explicit World(int nranks, WorldConfig cfg = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return nranks_; }
+  const WorldConfig& config() const noexcept { return cfg_; }
+
+  /// The communicator endpoint for `rank` (thread-safe; each rank's thread
+  /// uses its own endpoint).
+  ThreadComm& comm(int rank);
+
+  /// Spawn one thread per rank running `body`, join them all, and rethrow
+  /// the first exception any rank raised.
+  void run(const std::function<void(ThreadComm&)>& body);
+
+  /// Traffic observed so far (sends initiated). Reset with reset_stats().
+  PairStats pair_stats(int src, int dst) const;
+  std::uint64_t total_msgs() const noexcept;
+  std::uint64_t total_bytes() const noexcept;
+  void reset_stats() noexcept;
+
+ private:
+  friend class ThreadComm;
+
+  detail::Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  void count_send(int src, int dst, std::size_t bytes) noexcept;
+  void barrier_wait();
+
+  int nranks_;
+  WorldConfig cfg_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<ThreadComm>> comms_;
+
+  // central sense-reversing barrier
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  bool barrier_sense_ = false;
+
+  // per-pair traffic counters, indexed src * nranks + dst
+  std::vector<std::atomic<std::uint64_t>> stat_msgs_;
+  std::vector<std::atomic<std::uint64_t>> stat_bytes_;
+};
+
+}  // namespace bsb::mpisim

@@ -1,0 +1,45 @@
+#include "netsim/costmodel.hpp"
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/format.hpp"
+
+namespace bsb::netsim {
+
+void CostModel::validate() const {
+  BSB_REQUIRE(alpha_intra >= 0 && alpha_inter >= 0, "CostModel: negative latency");
+  BSB_REQUIRE(o_send >= 0 && o_recv >= 0, "CostModel: negative overhead");
+  BSB_REQUIRE(bw_flow_intra > 0 && bw_flow_inter > 0, "CostModel: flow caps must be positive");
+  BSB_REQUIRE(bw_membus > 0 && bw_nic > 0, "CostModel: resource caps must be positive");
+  BSB_REQUIRE(bw_fabric >= 0, "CostModel: fabric cap must be nonnegative");
+  BSB_REQUIRE(copy_bw > 0, "CostModel: copy_bw must be positive");
+  BSB_REQUIRE(barrier_cost >= 0, "CostModel: negative barrier cost");
+}
+
+CostModel CostModel::hornet() { return CostModel{}; }
+
+CostModel CostModel::laki() {
+  CostModel m;
+  m.alpha_intra = 0.6e-6;
+  m.alpha_inter = 2.6e-6;
+  m.o_send = 0.5e-6;
+  m.o_recv = 0.5e-6;
+  m.bw_flow_intra = 4e9;
+  m.bw_flow_inter = 3e9;
+  m.bw_membus = 12e9;
+  m.bw_nic = 3.2e9;   // QDR InfiniBand-ish
+  m.eager_threshold = 12288;
+  m.copy_bw = 5e9;
+  return m;
+}
+
+std::string CostModel::describe() const {
+  return "alpha " + format_time(alpha_intra) + "/" + format_time(alpha_inter) +
+         " (intra/inter), o " + format_time(o_send) + "+" + format_time(o_recv) +
+         ", flow " + format_mbps(bw_flow_intra, 0) + "/" +
+         format_mbps(bw_flow_inter, 0) + " MB/s, membus " +
+         format_mbps(bw_membus, 0) + " MB/s, nic " + format_mbps(bw_nic, 0) +
+         " MB/s, eager<=" + std::to_string(eager_threshold) + "B (credits " +
+         (eager_credits > 0 ? std::to_string(eager_credits) : "unlimited") + ")";
+}
+
+}  // namespace bsb::netsim

@@ -1,0 +1,75 @@
+// Cost model for the flow-level cluster simulator: LogGP-style per-message
+// costs plus shared-resource bandwidth, with eager/rendezvous protocol
+// switching. Defaults approximate the paper's Cray XC40 ("Hornet") node:
+// dual-socket Haswell, 24 cores, Aries NIC — the absolute numbers are
+// order-of-magnitude realistic, and the EXPERIMENTS are about the RELATIVE
+// behaviour of native vs tuned schedules under them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bsb::netsim {
+
+struct CostModel {
+  // --- per-message wire latency (seconds) -------------------------------
+  double alpha_intra = 0.4e-6;   // shared-memory handoff
+  double alpha_inter = 1.8e-6;   // NIC + fabric traversal
+
+  // --- host CPU time per posted operation (seconds) ---------------------
+  double o_send = 0.35e-6;
+  double o_recv = 0.35e-6;
+
+  // --- per-flow streaming caps (bytes/second) ----------------------------
+  double bw_flow_intra = 6e9;    // one memcpy stream
+  double bw_flow_inter = 8.5e9;  // one stream through the NIC
+
+  // --- shared resources (bytes/second) -----------------------------------
+  // All concurrent intra-node flows of one node share its memory bus; all
+  // inter-node flows share the node's NIC, per direction. Fair sharing is
+  // max-min. This is where "fewer messages -> more bandwidth each" comes
+  // from — the effect the paper's optimization banks on.
+  double bw_membus = 20e9;       // per node
+  double bw_nic = 10e9;          // per node, each direction
+  double bw_fabric = 0;          // aggregate fabric cap; 0 = unlimited
+
+  // --- protocol -----------------------------------------------------------
+  /// Messages at most this size are eager: the sender deposits and moves
+  /// on. Larger messages rendezvous: RTS/CTS handshake (one alpha each
+  /// way), and the sender stays blocked until the data has drained.
+  /// 8 KiB matches Cray MPI's default small-message cutoff.
+  std::size_t eager_threshold = 8192;
+  /// CPU copy bandwidth for the eager path (LogGP's per-byte gap G): the
+  /// sender's injection memcpy and the receiver's copy-out are charged on
+  /// the respective CPU at this rate. Eager copies are CPU-serialized per
+  /// rank — they do NOT linger on the shared fluid resources the way
+  /// rendezvous DMA streams do.
+  double copy_bw = 8e9;
+  /// Eager flow control: at most this many eager messages may sit
+  /// unconsumed per ordered (src, dst) pair; further eager sends block
+  /// until the receiver copies one out. This is the credit/token scheme
+  /// real MPI stacks use to bound unexpected-message memory, and it bounds
+  /// how far send-only ranks can run ahead. <= 0 means unlimited.
+  int eager_credits = 16;
+
+  /// Cost of one barrier synchronization after the last rank arrives.
+  double barrier_cost = 2.0e-6;
+
+  /// Sanity-check all fields; throws PreconditionError on nonsense.
+  void validate() const;
+
+  std::string describe() const;
+
+  /// Hornet-like defaults (the values above).
+  static CostModel hornet();
+
+  /// Laki-like (NEC Nehalem + InfiniBand): slower NIC, higher latency.
+  static CostModel laki();
+
+  double alpha(bool inter) const noexcept { return inter ? alpha_inter : alpha_intra; }
+  double flow_cap(bool inter) const noexcept {
+    return inter ? bw_flow_inter : bw_flow_intra;
+  }
+};
+
+}  // namespace bsb::netsim

@@ -1,0 +1,148 @@
+#include "netsim/fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bsb::netsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+// Flows whose remaining bytes drop below this are complete: one microbyte
+// is far below any meaningful payload and forgiving of time-granularity
+// rounding in the event engine.
+constexpr double kByteEps = 1e-6;
+}  // namespace
+
+FluidNetwork::FluidNetwork(std::vector<double> capacities)
+    : capacities_(std::move(capacities)) {
+  for (double c : capacities_) BSB_REQUIRE(c > 0, "FluidNetwork: capacities must be positive");
+}
+
+int FluidNetwork::add_flow(double bytes, std::vector<int> resources, double cap) {
+  BSB_REQUIRE(bytes > 0, "FluidNetwork: flows carry at least one byte");
+  BSB_REQUIRE(cap > 0, "FluidNetwork: per-flow cap must be positive");
+  for (int r : resources) {
+    BSB_REQUIRE(r >= 0 && r < static_cast<int>(capacities_.size()),
+                "FluidNetwork: resource index out of range");
+  }
+  Flow f;
+  f.remaining = bytes;
+  f.cap = cap;
+  f.resources = std::move(resources);
+  f.active = true;
+  int id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    flows_[id] = std::move(f);
+  } else {
+    id = static_cast<int>(flows_.size());
+    flows_.push_back(std::move(f));
+  }
+  ++active_;
+  return id;
+}
+
+void FluidNetwork::remove_flow(int id) {
+  BSB_REQUIRE(id >= 0 && id < static_cast<int>(flows_.size()) && flows_[id].active,
+              "FluidNetwork: removing an inactive flow");
+  flows_[id].active = false;
+  flows_[id].resources.clear();
+  free_ids_.push_back(id);
+  --active_;
+}
+
+void FluidNetwork::recompute_rates() {
+  // Progressive filling. `residual[r]` is the capacity not yet claimed by
+  // frozen flows; `users[r]` counts unfrozen flows crossing r.
+  std::vector<double> residual = capacities_;
+  std::vector<int> users(capacities_.size(), 0);
+  std::vector<int> unfrozen;
+  for (int i = 0; i < static_cast<int>(flows_.size()); ++i) {
+    if (!flows_[i].active) continue;
+    unfrozen.push_back(i);
+    for (int r : flows_[i].resources) ++users[r];
+  }
+
+  while (!unfrozen.empty()) {
+    // The share every remaining flow could get from its tightest resource.
+    double s = kInf;
+    for (std::size_t r = 0; r < residual.size(); ++r) {
+      if (users[r] > 0) s = std::min(s, residual[r] / users[r]);
+    }
+    for (int i : unfrozen) s = std::min(s, flows_[i].cap);
+    BSB_ASSERT(s < kInf, "FluidNetwork: unbounded share for capped flows");
+
+    // Freeze flows limited by s: those whose cap == s, and those crossing a
+    // resource whose fair share == s. Decide on a snapshot first, then
+    // apply, so one freeze does not distort the test for its peers.
+    std::vector<int> next, frozen;
+    for (int i : unfrozen) {
+      const Flow& f = flows_[i];
+      bool limited = f.cap <= s * (1 + kEps);
+      if (!limited) {
+        for (int r : f.resources) {
+          if (residual[r] / users[r] <= s * (1 + kEps)) {
+            limited = true;
+            break;
+          }
+        }
+      }
+      (limited ? frozen : next).push_back(i);
+    }
+    BSB_ASSERT(!frozen.empty(), "FluidNetwork: progressive filling made no progress");
+    for (int i : frozen) {
+      Flow& f = flows_[i];
+      f.rate = std::min(s, f.cap);
+      for (int r : f.resources) {
+        residual[r] -= f.rate;
+        if (residual[r] < 0) residual[r] = 0;
+        --users[r];
+      }
+    }
+    unfrozen = std::move(next);
+  }
+}
+
+void FluidNetwork::advance(double dt) {
+  BSB_REQUIRE(dt >= 0, "FluidNetwork: cannot advance backwards");
+  if (dt == 0) return;
+  for (Flow& f : flows_) {
+    if (!f.active) continue;
+    f.remaining -= f.rate * dt;
+    if (f.remaining < kByteEps) f.remaining = 0;
+  }
+}
+
+double FluidNetwork::time_to_next_completion() const {
+  double t = kInf;
+  for (const Flow& f : flows_) {
+    if (!f.active) continue;
+    if (f.rate <= 0) continue;  // cannot finish; caller recomputes rates
+    t = std::min(t, f.remaining / f.rate);
+  }
+  return t;
+}
+
+std::vector<int> FluidNetwork::completed_flows() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(flows_.size()); ++i) {
+    if (flows_[i].active && flows_[i].remaining <= 0) out.push_back(i);
+  }
+  return out;
+}
+
+double FluidNetwork::rate_of(int id) const {
+  BSB_REQUIRE(id >= 0 && id < static_cast<int>(flows_.size()) && flows_[id].active,
+              "FluidNetwork: rate_of inactive flow");
+  return flows_[id].rate;
+}
+
+double FluidNetwork::remaining_of(int id) const {
+  BSB_REQUIRE(id >= 0 && id < static_cast<int>(flows_.size()) && flows_[id].active,
+              "FluidNetwork: remaining_of inactive flow");
+  return flows_[id].remaining;
+}
+
+}  // namespace bsb::netsim

@@ -1,0 +1,61 @@
+// Max-min fair fluid bandwidth sharing. Every in-flight transfer is a flow
+// crossing a set of capacity-limited resources (per-node memory bus, NIC-in,
+// NIC-out, optional global fabric) plus a private per-flow streaming cap.
+// Rates are the max-min fair allocation (progressive filling): repeatedly
+// give every unfrozen flow an equal share of its tightest resource, freeze
+// the flows on the bottleneck, and redistribute what is left.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::netsim {
+
+class FluidNetwork {
+ public:
+  /// `capacities[r]` is resource r's bandwidth in bytes/second.
+  explicit FluidNetwork(std::vector<double> capacities);
+
+  /// Add a flow of `bytes` (> 0) crossing `resources` (indices into the
+  /// capacity vector; may be empty), privately capped at `cap` B/s.
+  /// Returns the flow id. Rates are stale until recompute_rates().
+  int add_flow(double bytes, std::vector<int> resources, double cap);
+
+  /// Remove a completed flow. Rates are stale until recompute_rates().
+  void remove_flow(int id);
+
+  /// Max-min fair allocation over all active flows.
+  void recompute_rates();
+
+  /// Drain all flows by `dt` seconds at current rates.
+  void advance(double dt);
+
+  /// Seconds until the next flow completes at current rates
+  /// (infinity when no flows are active).
+  double time_to_next_completion() const;
+
+  /// Ids of flows whose remaining bytes have reached zero.
+  std::vector<int> completed_flows() const;
+
+  double rate_of(int id) const;
+  double remaining_of(int id) const;
+  int active_count() const noexcept { return active_; }
+
+ private:
+  struct Flow {
+    double remaining = 0;
+    double rate = 0;
+    double cap = 0;
+    std::vector<int> resources;
+    bool active = false;
+  };
+
+  std::vector<double> capacities_;
+  std::vector<Flow> flows_;
+  std::vector<int> free_ids_;
+  int active_ = 0;
+};
+
+}  // namespace bsb::netsim

@@ -1,0 +1,536 @@
+#include "netsim/replay.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "netsim/fluid.hpp"
+
+namespace bsb::netsim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeEps = 1e-12;  // sub-picosecond slack for comparisons
+
+enum class EventKind : std::uint8_t { RankWake, FlowStart, CreditRelease };
+
+struct Event {
+  double t;
+  std::uint64_t seq;  // deterministic FIFO tie-break
+  EventKind kind;
+  int id;  // rank (RankWake) or message (FlowStart)
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+enum class Phase : std::uint8_t { Start, AfterBusy, Blocked };
+
+struct RankSim {
+  int pc = 0;
+  Phase phase = Phase::Start;
+  double ready_at = 0;  // guards against premature (spurious) wakes
+  int barriers_passed = 0;
+  bool done = false;
+  double finish = 0;
+  // posting progress of the CURRENT op (reset on advance)
+  bool cur_send_posted = false;
+  bool cur_recv_posted = false;
+};
+
+struct MsgSim {
+  double bytes = 0;
+  bool inter = false;
+  bool eager = true;
+  double send_posted = -1;
+  double recv_posted = -1;
+  double delivered = -1;
+  double recv_complete = -1;
+  int flow_id = -1;
+  bool flow_scheduled = false;   // rendezvous FlowStart event pushed
+  bool credit_waiting = false;   // queued for an eager flow-control credit
+  bool credit_granted = false;   // handed a credit by a release
+  bool credit_released = false;  // its credit has been returned
+};
+
+struct BarrierGen {
+  int arrived = 0;
+  double last_arrival = 0;
+  bool released = false;
+  double release_time = 0;
+};
+
+class Engine {
+ public:
+  Engine(const trace::Schedule& sched, const trace::MatchResult& m,
+         const Topology& topo, const CostModel& cost)
+      : sched_(sched), match_(m), topo_(topo), cost_(cost),
+        fluid_(build_capacities(topo, cost)) {
+    cost.validate();
+    BSB_REQUIRE(topo.nranks() == sched.nranks,
+                "replay: topology size != schedule size");
+    ranks_.resize(sched.nranks);
+    cpu_busy_.resize(sched.nranks, 0.0);
+    op_complete_.resize(sched.nranks);
+    for (int r = 0; r < sched.nranks; ++r) {
+      op_complete_[r].resize(sched.ops[r].size(), 0.0);
+    }
+    msgs_.resize(m.msgs.size());
+    for (std::size_t i = 0; i < m.msgs.size(); ++i) {
+      const trace::MatchedMsg& mm = m.msgs[i];
+      msgs_[i].bytes = static_cast<double>(mm.bytes);
+      msgs_[i].inter = !topo.same_node(mm.src, mm.dst);
+      msgs_[i].eager = mm.bytes <= cost.eager_threshold;
+    }
+  }
+
+  ReplayResult run() {
+    for (int r = 0; r < sched_.nranks; ++r) push_event(0.0, EventKind::RankWake, r);
+
+    // Defensive livelock guard: a healthy replay processes a small constant
+    // number of events per op/message; far beyond that means engine bug.
+    const std::uint64_t iter_cap =
+        1000 * (sched_.total_ops() + msgs_.size()) + 100000;
+    std::uint64_t iter = 0;
+
+    while (true) {
+      if (++iter > iter_cap) {
+        throw SimError("replay: event-loop iteration cap exceeded at t=" +
+                       std::to_string(now_) + " (events=" +
+                       std::to_string(events_.size()) + ", active flows=" +
+                       std::to_string(fluid_.active_count()) +
+                       ") — engine livelock; " + diagnose_deadlock());
+      }
+      const double t_event = events_.empty() ? kInf : events_.top().t;
+      double t_flow =
+          fluid_.active_count() ? now_ + fluid_.time_to_next_completion() : kInf;
+      if (t_event == kInf && t_flow == kInf) break;
+
+      // Floating-point guard: when the next completion is closer than one
+      // ulp of `now_`, "now_ + ttc == now_" and time would stop advancing.
+      // Bump the target by a few ulps; the flow's remaining bytes then
+      // underflow the clamp in FluidNetwork::advance and it completes.
+      if (t_flow != kInf) {
+        const double min_step =
+            4 * std::numeric_limits<double>::epsilon() * std::max(now_, 1e-9);
+        t_flow = std::max(t_flow, now_ + min_step);
+      }
+
+      if (t_flow < t_event) {
+        advance_to(t_flow);
+        complete_due_flows();
+      } else {
+        advance_to(t_event);
+        const Event ev = events_.top();
+        events_.pop();
+        switch (ev.kind) {
+          case EventKind::RankWake:
+            progress_rank(ev.id);
+            break;
+          case EventKind::FlowStart:
+            start_flow(ev.id);
+            break;
+          case EventKind::CreditRelease:
+            release_credit(ev.id);
+            break;
+        }
+        // A flow may have hit zero exactly at this event time.
+        complete_due_flows();
+      }
+    }
+
+    ReplayResult result;
+    result.rank_finish.resize(sched_.nranks);
+    for (int r = 0; r < sched_.nranks; ++r) {
+      if (!ranks_[r].done) {
+        throw SimError(diagnose_deadlock());
+      }
+      result.rank_finish[r] = ranks_[r].finish;
+      result.makespan = std::max(result.makespan, ranks_[r].finish);
+    }
+    result.op_complete = std::move(op_complete_);
+    result.cpu_busy = std::move(cpu_busy_);
+    for (double b : result.cpu_busy) result.total_cpu_busy += b;
+    result.messages = msgs_.size();
+    result.flows_started = flows_started_;
+    result.rate_recomputes = rate_recomputes_;
+    return result;
+  }
+
+ private:
+  // ------------------------------------------------------------ resources
+  // Resource layout: [0, N) membus per node; [N, 2N) NIC-out; [2N, 3N)
+  // NIC-in; optionally 3N = global fabric.
+  static std::vector<double> build_capacities(const Topology& topo,
+                                              const CostModel& cost) {
+    const int n = topo.num_nodes();
+    std::vector<double> caps;
+    caps.reserve(3 * n + 1);
+    for (int i = 0; i < n; ++i) caps.push_back(cost.bw_membus);
+    for (int i = 0; i < n; ++i) caps.push_back(cost.bw_nic);
+    for (int i = 0; i < n; ++i) caps.push_back(cost.bw_nic);
+    if (cost.bw_fabric > 0) caps.push_back(cost.bw_fabric);
+    return caps;
+  }
+
+  std::vector<int> flow_resources(int msg_id) const {
+    const trace::MatchedMsg& mm = match_.msgs[msg_id];
+    const int n = topo_.num_nodes();
+    const int sn = topo_.node_of(mm.src);
+    const int dn = topo_.node_of(mm.dst);
+    if (sn == dn) return {sn};
+    std::vector<int> res{n + sn, 2 * n + dn};
+    if (cost_.bw_fabric > 0) res.push_back(3 * n);
+    return res;
+  }
+
+  // --------------------------------------------------------------- events
+  void push_event(double t, EventKind kind, int id) {
+    events_.push(Event{t, seq_++, kind, id});
+  }
+
+  void advance_to(double t) {
+    BSB_ASSERT(t + kTimeEps >= now_, "replay: time went backwards");
+    if (t > now_) {
+      fluid_.advance(t - now_);
+      now_ = t;
+    }
+  }
+
+  // ---------------------------------------------------------------- flows
+  void start_flow(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    if (ms.delivered >= 0 || ms.flow_id >= 0) return;  // already running/done
+    if (ms.bytes <= 0) {
+      deliver(msg_id, now_ + cost_.alpha(ms.inter));
+      return;
+    }
+    ms.flow_id = fluid_.add_flow(ms.bytes, flow_resources(msg_id),
+                                 cost_.flow_cap(ms.inter));
+    flow_msg_[ms.flow_id] = msg_id;
+    ++flows_started_;
+    fluid_.recompute_rates();
+    ++rate_recomputes_;
+  }
+
+  void complete_due_flows() {
+    const std::vector<int> done = fluid_.completed_flows();
+    if (done.empty()) return;
+    for (int fid : done) {
+      const int msg_id = flow_msg_.at(fid);
+      fluid_.remove_flow(fid);
+      flow_msg_.erase(fid);
+      MsgSim& ms = msgs_[msg_id];
+      ms.flow_id = -2;
+      deliver(msg_id, now_ + cost_.alpha(ms.inter));
+    }
+    if (fluid_.active_count() > 0) {
+      fluid_.recompute_rates();
+      ++rate_recomputes_;
+    }
+  }
+
+  void deliver(int msg_id, double when) {
+    MsgSim& ms = msgs_[msg_id];
+    ms.delivered = when;
+    if (ms.eager) maybe_finalize_eager_recv(msg_id);
+    // Wake both endpoints; progress_rank ignores wakes it has outgrown.
+    push_event(when, EventKind::RankWake, match_.msgs[msg_id].src);
+    push_event(when, EventKind::RankWake, match_.msgs[msg_id].dst);
+  }
+
+  // ------------------------------------------------------------- messages
+  void post_send(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    BSB_ASSERT(ms.send_posted < 0, "replay: send half posted twice");
+    ms.send_posted = now_;
+    if (ms.eager) {
+      // The sender's CPU already performed the injection copy (charged in
+      // the op's busy time). Intra-node the payload is now sitting in a
+      // shared-memory slot: delivered after the handoff latency, no shared
+      // fluid resource occupied. Inter-node it still crosses the NIC.
+      if (ms.inter && ms.bytes > 0) {
+        start_flow(msg_id);  // fire-and-forget through the NIC
+      } else {
+        deliver(msg_id, now_ + cost_.alpha(ms.inter));
+      }
+    } else {
+      maybe_schedule_rendezvous(msg_id);
+    }
+  }
+
+  void post_recv(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    BSB_ASSERT(ms.recv_posted < 0, "replay: recv half posted twice");
+    ms.recv_posted = now_;
+    if (!ms.eager) {
+      maybe_schedule_rendezvous(msg_id);
+    } else {
+      maybe_finalize_eager_recv(msg_id);
+    }
+  }
+
+  /// Once an eager message's delivery AND its receive post are both known,
+  /// fix its consumption time and schedule the flow-control credit release.
+  void maybe_finalize_eager_recv(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    if (ms.recv_complete >= 0 || ms.delivered < 0 || ms.recv_posted < 0) return;
+    ms.recv_complete =
+        std::max(ms.delivered, ms.recv_posted) + ms.bytes / cost_.copy_bw;
+    cpu_busy_[match_.msgs[msg_id].dst] += ms.bytes / cost_.copy_bw;
+    if (cost_.eager_credits > 0) {
+      push_event(ms.recv_complete, EventKind::CreditRelease, msg_id);
+    }
+  }
+
+  // --------------------------------------------------- eager flow control
+  /// True when the send may proceed. Otherwise the message is queued on
+  /// its channel and the sender stays parked until a CreditRelease grants
+  /// it a credit and wakes it.
+  bool try_acquire_credit(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    if (!ms.eager || cost_.eager_credits <= 0) return true;
+    if (ms.credit_granted) return true;
+    const auto key = channel_of(msg_id);
+    int& outstanding = credits_outstanding_[key];
+    if (outstanding < cost_.eager_credits) {
+      ++outstanding;
+      ms.credit_granted = true;
+      return true;
+    }
+    if (!ms.credit_waiting) {
+      ms.credit_waiting = true;
+      credit_waiters_[key].push_back(msg_id);
+    }
+    return false;
+  }
+
+  void release_credit(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    if (ms.credit_released) return;
+    ms.credit_released = true;
+    const auto key = channel_of(msg_id);
+    auto& waiters = credit_waiters_[key];
+    if (!waiters.empty()) {
+      // Hand the credit straight to the oldest parked send (FIFO).
+      const int next = waiters.front();
+      waiters.pop_front();
+      msgs_[next].credit_waiting = false;
+      msgs_[next].credit_granted = true;
+      push_event(now_, EventKind::RankWake, match_.msgs[next].src);
+    } else {
+      --credits_outstanding_[key];
+    }
+  }
+
+  std::pair<int, int> channel_of(int msg_id) const {
+    return {match_.msgs[msg_id].src, match_.msgs[msg_id].dst};
+  }
+
+  void maybe_schedule_rendezvous(int msg_id) {
+    MsgSim& ms = msgs_[msg_id];
+    if (ms.flow_scheduled || ms.send_posted < 0 || ms.recv_posted < 0) return;
+    // RTS + CTS handshake after both sides are ready.
+    const double start =
+        std::max(ms.send_posted, ms.recv_posted) + 2 * cost_.alpha(ms.inter);
+    ms.flow_scheduled = true;
+    push_event(start, EventKind::FlowStart, msg_id);
+  }
+
+  bool send_half_done(int msg_id) const {
+    const MsgSim& ms = msgs_[msg_id];
+    if (ms.eager) return true;  // sender freed at post
+    return ms.delivered >= 0 && now_ + kTimeEps >= ms.delivered;
+  }
+
+  /// Completion time of the receive half, or +inf if not determined yet.
+  /// Pushes a wake when the completion lies in the future.
+  bool recv_half_done(int msg_id, int rank) {
+    MsgSim& ms = msgs_[msg_id];
+    if (ms.delivered < 0) return false;  // deliver() will wake us
+    if (ms.recv_complete < 0) {
+      // Eager completion (delivery copy-out) is fixed by
+      // maybe_finalize_eager_recv; rendezvous completes at delivery.
+      BSB_ASSERT(!ms.eager, "replay: eager recv_complete not finalized");
+      ms.recv_complete = std::max(ms.delivered, ms.recv_posted);
+    }
+    if (now_ + kTimeEps >= ms.recv_complete) return true;
+    push_event(ms.recv_complete, EventKind::RankWake, rank);
+    return false;
+  }
+
+  // -------------------------------------------------------------- barrier
+  void barrier_arrive(int generation) {
+    if (static_cast<int>(barriers_.size()) <= generation) {
+      barriers_.resize(generation + 1);
+    }
+    BarrierGen& g = barriers_[generation];
+    ++g.arrived;
+    g.last_arrival = std::max(g.last_arrival, now_);
+    BSB_ASSERT(g.arrived <= sched_.nranks, "replay: too many barrier arrivals");
+    if (g.arrived == sched_.nranks) {
+      g.released = true;
+      g.release_time = g.last_arrival + cost_.barrier_cost;
+      for (int r = 0; r < sched_.nranks; ++r) {
+        push_event(g.release_time, EventKind::RankWake, r);
+      }
+    }
+  }
+
+  bool barrier_done(int generation) const {
+    if (static_cast<int>(barriers_.size()) <= generation) return false;
+    const BarrierGen& g = barriers_[generation];
+    return g.released && now_ + kTimeEps >= g.release_time;
+  }
+
+  // ----------------------------------------------------------------- ranks
+
+  /// Sender-side CPU time of an eager injection copy (LogGP's G * bytes).
+  double eager_inject_cost(int send_msg) const {
+    const MsgSim& ms = msgs_[send_msg];
+    return ms.eager ? ms.bytes / cost_.copy_bw : 0.0;
+  }
+
+  double busy_time(const trace::Op& op, int send_msg) const {
+    switch (op.kind) {
+      case trace::OpKind::Send:
+        return cost_.o_send + eager_inject_cost(send_msg);
+      case trace::OpKind::Recv:
+        return cost_.o_recv;
+      case trace::OpKind::SendRecv:
+        return cost_.o_send + cost_.o_recv + eager_inject_cost(send_msg);
+      case trace::OpKind::Barrier:
+        return 0;
+    }
+    return 0;
+  }
+
+  void progress_rank(int r) {
+    RankSim& rs = ranks_[r];
+    if (rs.done) return;
+    if (now_ + kTimeEps < rs.ready_at) return;  // premature wake; real one queued
+
+    const auto& oplist = sched_.ops[r];
+    while (true) {
+      if (rs.pc == static_cast<int>(oplist.size())) {
+        rs.done = true;
+        rs.finish = now_;
+        return;
+      }
+      const trace::Op& op = oplist[rs.pc];
+      const int send_msg = match_.send_msg_of[r][rs.pc];
+      const int recv_msg = match_.recv_msg_of[r][rs.pc];
+
+      if (rs.phase == Phase::Start) {
+        const double busy = busy_time(op, send_msg);
+        cpu_busy_[r] += busy;
+        rs.phase = Phase::AfterBusy;
+        if (busy > 0) {
+          rs.ready_at = now_ + busy;
+          push_event(rs.ready_at, EventKind::RankWake, r);
+          return;
+        }
+      }
+
+      if (rs.phase == Phase::AfterBusy) {
+        // Post the receive half first so the peer can always match it even
+        // while our send half is parked on flow control.
+        if (op.has_recv() && !rs.cur_recv_posted) {
+          post_recv(recv_msg);
+          rs.cur_recv_posted = true;
+        }
+        if (op.has_send() && !rs.cur_send_posted) {
+          if (!try_acquire_credit(send_msg)) return;  // woken on release
+          post_send(send_msg);
+          rs.cur_send_posted = true;
+        }
+        if (op.kind == trace::OpKind::Barrier) barrier_arrive(rs.barriers_passed);
+        rs.phase = Phase::Blocked;
+      }
+
+      // Phase::Blocked — is the op complete at `now_`?
+      bool complete = true;
+      switch (op.kind) {
+        case trace::OpKind::Send:
+          complete = send_half_done(send_msg);
+          break;
+        case trace::OpKind::Recv:
+          complete = recv_half_done(recv_msg, r);
+          break;
+        case trace::OpKind::SendRecv:
+          // Evaluate both so wake-ups get scheduled for each half.
+          complete = recv_half_done(recv_msg, r);
+          complete = send_half_done(send_msg) && complete;
+          break;
+        case trace::OpKind::Barrier:
+          complete = barrier_done(rs.barriers_passed);
+          break;
+      }
+      if (!complete) return;  // a deliver()/wake will resume us
+
+      if (op.kind == trace::OpKind::Barrier) ++rs.barriers_passed;
+      op_complete_[r][rs.pc] = now_;
+      ++rs.pc;
+      rs.phase = Phase::Start;
+      rs.cur_send_posted = false;
+      rs.cur_recv_posted = false;
+      rs.ready_at = now_;
+    }
+  }
+
+  std::string diagnose_deadlock() const {
+    std::string s = "replay: schedule did not run to completion;";
+    for (int r = 0; r < sched_.nranks; ++r) {
+      if (ranks_[r].done) continue;
+      const auto& oplist = sched_.ops[r];
+      s += " rank " + std::to_string(r) + " at op " + std::to_string(ranks_[r].pc);
+      if (ranks_[r].pc < static_cast<int>(oplist.size())) {
+        s += " (" + std::string(trace::to_string(oplist[ranks_[r].pc].kind)) + ")";
+      }
+      s += ";";
+    }
+    return s;
+  }
+
+  const trace::Schedule& sched_;
+  const trace::MatchResult& match_;
+  const Topology& topo_;
+  const CostModel& cost_;
+  FluidNetwork fluid_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0;
+
+  std::vector<RankSim> ranks_;
+  std::vector<double> cpu_busy_;
+  std::vector<std::vector<double>> op_complete_;
+  std::vector<MsgSim> msgs_;
+  std::vector<BarrierGen> barriers_;
+  std::unordered_map<int, int> flow_msg_;
+  std::map<std::pair<int, int>, int> credits_outstanding_;
+  std::map<std::pair<int, int>, std::deque<int>> credit_waiters_;
+
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t rate_recomputes_ = 0;
+};
+
+}  // namespace
+
+ReplayResult replay_schedule(const trace::Schedule& sched, const trace::MatchResult& m,
+                             const Topology& topo, const CostModel& cost) {
+  Engine engine(sched, m, topo, cost);
+  return engine.run();
+}
+
+}  // namespace bsb::netsim

@@ -1,0 +1,28 @@
+#include "netsim/sim.hpp"
+
+#include "trace/match.hpp"
+
+namespace bsb::netsim {
+
+SimResult simulate_schedule(const trace::Schedule& base, const SimSpec& spec) {
+  BSB_REQUIRE(spec.iters >= 1, "simulate_schedule: iters >= 1");
+  SimResult out;
+  out.traffic = trace::traffic_stats(trace::match_schedule(base), spec.topo);
+
+  const trace::Schedule full = base.replicate(spec.iters);
+  const trace::MatchResult m = trace::match_schedule(full);
+  out.replay = replay_schedule(full, m, spec.topo, spec.cost);
+  out.seconds = out.replay.makespan;
+  if (out.seconds > 0) {
+    out.bandwidth = static_cast<double>(base.nbytes) * spec.iters / out.seconds;
+    out.throughput = static_cast<double>(spec.iters) / out.seconds;
+  }
+  return out;
+}
+
+SimResult simulate_program(int nranks, std::uint64_t nbytes,
+                           const trace::RankProgram& program, const SimSpec& spec) {
+  return simulate_schedule(trace::record_schedule(nranks, nbytes, program), spec);
+}
+
+}  // namespace bsb::netsim

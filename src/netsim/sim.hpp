@@ -1,0 +1,45 @@
+// One-call simulation pipeline: record a collective's schedule, replicate
+// it for the measurement loop, match, replay under a cost model, and report
+// bandwidth — the paper's metric (bytes broadcast per second of virtual
+// time across `iters` back-to-back operations, one barrier up front).
+#pragma once
+
+#include <cstdint>
+
+#include "comm/topology.hpp"
+#include "netsim/costmodel.hpp"
+#include "netsim/replay.hpp"
+#include "trace/counters.hpp"
+#include "trace/record.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::netsim {
+
+struct SimSpec {
+  Topology topo;
+  CostModel cost = CostModel::hornet();
+  /// Back-to-back repetitions of the collective (the paper uses 100).
+  int iters = 1;
+};
+
+struct SimResult {
+  /// Virtual seconds for all iterations.
+  double seconds = 0;
+  /// nbytes * iters / seconds — the paper's "broadcast bandwidth".
+  double bandwidth = 0;
+  /// Collectives completed per second (the paper's Fig. 7 "throughput").
+  double throughput = 0;
+  /// Traffic of ONE iteration, split intra/inter-node.
+  trace::TrafficStats traffic;
+  ReplayResult replay;
+};
+
+/// Replay `base` (one iteration of a collective over base.nbytes bytes)
+/// `spec.iters` times back-to-back on the given cluster.
+SimResult simulate_schedule(const trace::Schedule& base, const SimSpec& spec);
+
+/// Record `program` for (nranks, nbytes) and simulate it.
+SimResult simulate_program(int nranks, std::uint64_t nbytes,
+                           const trace::RankProgram& program, const SimSpec& spec);
+
+}  // namespace bsb::netsim

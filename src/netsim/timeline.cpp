@@ -1,0 +1,58 @@
+#include "netsim/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/format.hpp"
+
+namespace bsb::netsim {
+
+namespace {
+char glyph(trace::OpKind k) {
+  switch (k) {
+    case trace::OpKind::Send: return 's';
+    case trace::OpKind::Recv: return 'r';
+    case trace::OpKind::SendRecv: return 'x';
+    case trace::OpKind::Barrier: return 'B';
+  }
+  return '?';
+}
+}  // namespace
+
+std::string render_timeline(const trace::Schedule& sched, const ReplayResult& result,
+                            int width, int max_ranks) {
+  BSB_REQUIRE(width >= 8, "render_timeline: width too small");
+  BSB_REQUIRE(static_cast<int>(result.op_complete.size()) == sched.nranks,
+              "render_timeline: replay result does not match schedule");
+  const double span = result.makespan > 0 ? result.makespan : 1.0;
+  const int shown = std::min(sched.nranks, max_ranks);
+
+  std::string out;
+  out += "timeline over " + format_time(result.makespan) +
+         "  (s=send r=recv x=sendrecv B=barrier .=done)\n";
+  for (int r = 0; r < shown; ++r) {
+    std::string row(width, '.');
+    const auto& completes = result.op_complete[r];
+    double prev = 0;
+    for (std::size_t i = 0; i < completes.size(); ++i) {
+      const double lo = prev, hi = completes[i];
+      prev = hi;
+      if (hi <= lo) continue;
+      int c0 = static_cast<int>(lo / span * width);
+      int c1 = static_cast<int>(hi / span * width);
+      c0 = std::clamp(c0, 0, width - 1);
+      c1 = std::clamp(c1, c0, width - 1);
+      for (int c = c0; c <= c1; ++c) row[c] = glyph(sched.ops[r][i].kind);
+    }
+    char label[16];
+    std::snprintf(label, sizeof label, "p%-3d |", r);
+    out += label + row + "|\n";
+  }
+  if (shown < sched.nranks) {
+    out += "  ... (" + std::to_string(sched.nranks - shown) + " more ranks)\n";
+  }
+  return out;
+}
+
+}  // namespace bsb::netsim

@@ -1,0 +1,21 @@
+// ASCII Gantt rendering of a replayed schedule: one row per rank, time on
+// the x-axis, a character per op kind. Makes the tuned ring's behaviour
+// visible at a glance — send-only ranks (all 's') finish early, the rank
+// left of the root ('r' to the end) carries the critical receive chain.
+#pragma once
+
+#include <string>
+
+#include "netsim/replay.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::netsim {
+
+/// Render the per-rank op timeline of a replay. `width` interior columns
+/// cover [0, makespan]; each cell shows the op occupying that instant:
+/// 's' send, 'r' recv, 'x' sendrecv, 'B' barrier, '.' finished. Rows are
+/// truncated to the first `max_ranks` ranks when the group is larger.
+std::string render_timeline(const trace::Schedule& sched, const ReplayResult& result,
+                            int width = 72, int max_ranks = 32);
+
+}  // namespace bsb::netsim

@@ -1,0 +1,27 @@
+#include "trace/counters.hpp"
+
+#include <map>
+#include <utility>
+
+namespace bsb::trace {
+
+TrafficStats traffic_stats(const MatchResult& m, const Topology& topo) {
+  TrafficStats s;
+  std::map<std::pair<int, int>, std::uint64_t> per_pair;
+  for (const MatchedMsg& msg : m.msgs) {
+    ++s.msgs;
+    s.bytes += msg.bytes;
+    if (topo.same_node(msg.src, msg.dst)) {
+      ++s.intra_msgs;
+      s.intra_bytes += msg.bytes;
+    } else {
+      ++s.inter_msgs;
+      s.inter_bytes += msg.bytes;
+    }
+    const std::uint64_t n = ++per_pair[{msg.src, msg.dst}];
+    if (n > s.max_pair_msgs) s.max_pair_msgs = n;
+  }
+  return s;
+}
+
+}  // namespace bsb::trace

@@ -1,0 +1,156 @@
+#include "trace/coverage.hpp"
+
+#include <vector>
+
+namespace bsb::trace {
+
+namespace {
+
+struct RankState {
+  int pc = 0;                   // next op index
+  bool sendrecv_send_done = false;  // send half of current SendRecv emitted
+  int barriers_passed = 0;
+  IntervalSet valid;
+};
+
+}  // namespace
+
+CoverageReport validate_coverage(const Schedule& sched, const MatchResult& m,
+                                 int root, const CoverageOptions& opt) {
+  CoverageReport report;
+  const int P = sched.nranks;
+  BSB_REQUIRE(root >= 0 && root < P, "validate_coverage: root out of range");
+
+  std::vector<RankState> st(P);
+  st[root].valid.insert({0, sched.nbytes});
+  std::vector<bool> msg_sent(m.msgs.size(), false);
+
+  auto fail = [&](const std::string& why) {
+    report.ok = false;
+    if (!report.diagnostics.empty()) report.diagnostics += "\n";
+    report.diagnostics += why;
+  };
+
+  // The send half of an op is emitted the moment the op is reached (MPI
+  // send semantics under unbounded buffering); the receive half blocks
+  // until its matching send has been emitted.
+  auto emit_send = [&](int r, int op_idx) -> bool {
+    const Op& op = sched.ops[r][op_idx];
+    if (op.send_off == kForeignOffset) {
+      fail("rank " + std::to_string(r) + " op " + std::to_string(op_idx) +
+           " sends from scratch memory outside the collective's buffer; "
+           "dataflow cannot be validated");
+      return false;
+    }
+    const Interval iv{op.send_off, op.send_off + op.send_bytes};
+    if (!st[r].valid.contains(iv)) {
+      fail("rank " + std::to_string(r) + " op " + std::to_string(op_idx) +
+           " sends bytes " + std::to_string(iv.lo) + ".." + std::to_string(iv.hi) +
+           " it does not hold (holds " + st[r].valid.to_string() + ")");
+      return false;
+    }
+    const int id = m.send_msg_of[r][op_idx];
+    BSB_ASSERT(id >= 0, "coverage: send half without matched message");
+    msg_sent[id] = true;
+    return true;
+  };
+
+  auto try_recv = [&](int r, int op_idx) -> bool {
+    const int id = m.recv_msg_of[r][op_idx];
+    BSB_ASSERT(id >= 0, "coverage: recv half without matched message");
+    if (!msg_sent[id]) return false;  // still blocked
+    const MatchedMsg& msg = m.msgs[id];
+    if (opt.require_aligned && msg.src_off != msg.dst_off) {
+      fail("rank " + std::to_string(r) + " op " + std::to_string(op_idx) +
+           " receives bytes at offset " + std::to_string(msg.dst_off) +
+           " that originate from offset " + std::to_string(msg.src_off) +
+           " (misaligned delivery)");
+    }
+    st[r].valid.insert({msg.dst_off, msg.dst_off + msg.bytes});
+    return true;
+  };
+
+  auto barrier_ready = [&](int generation) {
+    // Every rank must have reached (or passed) its `generation`-th barrier.
+    for (int q = 0; q < P; ++q) {
+      if (st[q].barriers_passed > generation) continue;
+      const auto& list = sched.ops[q];
+      if (st[q].pc < static_cast<int>(list.size()) &&
+          list[st[q].pc].kind == OpKind::Barrier &&
+          st[q].barriers_passed == generation) {
+        continue;  // waiting at this barrier right now
+      }
+      return false;
+    }
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && report.ok) {
+    progress = false;
+    for (int r = 0; r < P; ++r) {
+      while (report.ok && st[r].pc < static_cast<int>(sched.ops[r].size())) {
+        const int i = st[r].pc;
+        const Op& op = sched.ops[r][i];
+        bool advanced = false;
+        switch (op.kind) {
+          case OpKind::Send:
+            if (!emit_send(r, i)) break;
+            advanced = true;
+            break;
+          case OpKind::Recv:
+            advanced = try_recv(r, i);
+            break;
+          case OpKind::SendRecv:
+            if (!st[r].sendrecv_send_done) {
+              if (!emit_send(r, i)) break;
+              st[r].sendrecv_send_done = true;
+              progress = true;
+            }
+            if (try_recv(r, i)) {
+              st[r].sendrecv_send_done = false;
+              advanced = true;
+            }
+            break;
+          case OpKind::Barrier:
+            if (barrier_ready(st[r].barriers_passed)) {
+              ++st[r].barriers_passed;
+              advanced = true;
+            }
+            break;
+        }
+        if (!advanced) break;
+        ++st[r].pc;
+        progress = true;
+      }
+    }
+  }
+
+  // Deadlock: some rank never finished although nothing failed outright.
+  if (report.ok) {
+    for (int r = 0; r < P; ++r) {
+      if (st[r].pc < static_cast<int>(sched.ops[r].size())) {
+        const Op& op = sched.ops[r][st[r].pc];
+        fail("deadlock: rank " + std::to_string(r) + " blocked at op " +
+             std::to_string(st[r].pc) + " (" + to_string(op.kind) +
+             (op.has_recv() ? " from " + std::to_string(op.src) : "") + ")");
+      }
+    }
+  }
+
+  if (report.ok && opt.require_full_final_coverage) {
+    for (int r = 0; r < P; ++r) {
+      const IntervalSet missing = st[r].valid.complement(sched.nbytes);
+      if (!missing.empty()) {
+        fail("rank " + std::to_string(r) + " ends missing bytes " +
+             missing.to_string());
+      }
+    }
+  }
+
+  report.final_coverage.reserve(P);
+  for (int r = 0; r < P; ++r) report.final_coverage.push_back(std::move(st[r].valid));
+  return report;
+}
+
+}  // namespace bsb::trace

@@ -1,0 +1,41 @@
+// Symbolic dataflow validation of broadcast schedules: executes a matched
+// schedule without data, tracking for every rank which bytes of the root's
+// buffer it validly holds. Proves three properties the paper's correctness
+// rests on:
+//  1. no rank ever SENDS bytes it does not yet hold (no garbage forwarded);
+//  2. aligned delivery: data lands at the same buffer offset it came from;
+//  3. on completion every rank holds the full [0, nbytes) buffer.
+// It also detects schedule deadlocks (a cycle of receives none of which can
+// start), reporting each blocked rank's position.
+#pragma once
+
+#include <string>
+
+#include "bsbutil/intervals.hpp"
+#include "trace/match.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+struct CoverageOptions {
+  /// Require msg.src_off == msg.dst_off (true for every non-rotating
+  /// broadcast algorithm; Bruck-style rotations would violate it).
+  bool require_aligned = true;
+  /// Require full final coverage on every rank (broadcast postcondition).
+  bool require_full_final_coverage = true;
+};
+
+struct CoverageReport {
+  bool ok = true;
+  std::string diagnostics;  // empty when ok
+
+  /// Bytes each rank held valid when execution stopped.
+  std::vector<IntervalSet> final_coverage;
+};
+
+/// Validate `sched` (already matched as `m`) for a broadcast rooted at
+/// `root`. Never throws on validation failure; inspect the report.
+CoverageReport validate_coverage(const Schedule& sched, const MatchResult& m,
+                                 int root, const CoverageOptions& opt = {});
+
+}  // namespace bsb::trace

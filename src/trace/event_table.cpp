@@ -1,0 +1,45 @@
+#include "trace/event_table.hpp"
+
+#include <algorithm>
+
+#include "bsbutil/table.hpp"
+
+namespace bsb::trace {
+
+std::string render_event_table(const Schedule& sched, std::uint64_t chunk_size) {
+  std::size_t max_ops = 0;
+  for (const auto& list : sched.ops) max_ops = std::max(max_ops, list.size());
+
+  std::vector<std::string> header{"step"};
+  for (int r = 0; r < sched.nranks; ++r) header.push_back("p" + std::to_string(r));
+  Table table(std::move(header));
+
+  auto chunk_of = [&](std::uint64_t off) {
+    return chunk_size ? std::to_string(off / chunk_size) : std::to_string(off);
+  };
+
+  for (std::size_t i = 0; i < max_ops; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (int r = 0; r < sched.nranks; ++r) {
+      if (i >= sched.ops[r].size()) {
+        row.push_back("-");
+        continue;
+      }
+      const Op& op = sched.ops[r][i];
+      std::string cell;
+      if (op.has_send()) {
+        cell += "s" + chunk_of(op.send_off) + ">" + std::to_string(op.dst);
+      }
+      if (op.has_recv()) {
+        if (!cell.empty()) cell += " ";
+        cell += "r" + chunk_of(op.recv_off) + "<" + std::to_string(op.src);
+      }
+      if (op.kind == OpKind::Barrier) cell = "|barrier|";
+      row.push_back(cell);
+    }
+    table.add(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace bsb::trace

@@ -1,0 +1,19 @@
+// Render a schedule as a per-step event table, mirroring the paper's
+// Figures 3-5 (which list, for each ring step and each process, the send
+// and receive happening at that step).
+#pragma once
+
+#include <string>
+
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+/// One row per op position (for ring phases, op position == ring step),
+/// one column per rank; cells like "s2>4 r1<0" mean "sends chunk at offset
+/// step 2 to rank 4, receives from rank 0". Offsets are divided by
+/// `chunk_size` when positive so cells read as chunk indices (pass 0 to
+/// show raw byte offsets).
+std::string render_event_table(const Schedule& sched, std::uint64_t chunk_size);
+
+}  // namespace bsb::trace

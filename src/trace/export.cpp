@@ -1,0 +1,45 @@
+#include "trace/export.hpp"
+
+#include "bsbutil/csv.hpp"
+
+namespace bsb::trace {
+
+namespace {
+std::string offset_str(std::uint64_t off) {
+  return off == kForeignOffset ? "foreign" : std::to_string(off);
+}
+}  // namespace
+
+void write_schedule_csv(const Schedule& sched, const std::string& path) {
+  CsvWriter csv(path);
+  csv.row({"rank", "op", "kind", "dst", "send_tag", "send_bytes", "send_off",
+           "src", "recv_tag", "recv_cap", "recv_off"});
+  for (int r = 0; r < sched.nranks; ++r) {
+    for (std::size_t i = 0; i < sched.ops[r].size(); ++i) {
+      const Op& op = sched.ops[r][i];
+      csv.row({std::to_string(r), std::to_string(i), to_string(op.kind),
+               op.has_send() ? std::to_string(op.dst) : "",
+               op.has_send() ? std::to_string(op.send_tag) : "",
+               op.has_send() ? std::to_string(op.send_bytes) : "",
+               op.has_send() ? offset_str(op.send_off) : "",
+               op.has_recv() ? std::to_string(op.src) : "",
+               op.has_recv() ? std::to_string(op.recv_tag) : "",
+               op.has_recv() ? std::to_string(op.recv_cap) : "",
+               op.has_recv() ? offset_str(op.recv_off) : ""});
+    }
+  }
+}
+
+void write_messages_csv(const MatchResult& m, const std::string& path) {
+  CsvWriter csv(path);
+  csv.row({"src", "dst", "tag", "bytes", "src_off", "dst_off", "src_op",
+           "dst_op"});
+  for (const MatchedMsg& msg : m.msgs) {
+    csv.row({std::to_string(msg.src), std::to_string(msg.dst),
+             std::to_string(msg.tag), std::to_string(msg.bytes),
+             offset_str(msg.src_off), offset_str(msg.dst_off),
+             std::to_string(msg.src_op), std::to_string(msg.dst_op)});
+  }
+}
+
+}  // namespace bsb::trace

@@ -1,0 +1,18 @@
+// Schedule and match exports for external analysis (pandas, gnuplot):
+// one CSV row per op half / matched message.
+#pragma once
+
+#include <string>
+
+#include "trace/match.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+/// One row per op: rank, op index, kind, peers, tags, bytes, offsets.
+void write_schedule_csv(const Schedule& sched, const std::string& path);
+
+/// One row per matched message: src, dst, tag, bytes, offsets, op indices.
+void write_messages_csv(const MatchResult& m, const std::string& path);
+
+}  // namespace bsb::trace

@@ -1,0 +1,97 @@
+#include "trace/match.hpp"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+namespace bsb::trace {
+
+namespace {
+using ChannelKey = std::tuple<int, int, int>;  // src, dst, tag
+
+struct HalfRef {
+  int rank;  // the rank whose op list this half belongs to
+  int op;
+  std::uint64_t bytes_or_cap;
+  std::uint64_t off;
+};
+}  // namespace
+
+MatchResult match_schedule(const Schedule& sched) {
+  std::map<ChannelKey, std::vector<HalfRef>> sends, recvs;
+
+  for (int r = 0; r < sched.nranks; ++r) {
+    const auto& list = sched.ops[r];
+    for (int i = 0; i < static_cast<int>(list.size()); ++i) {
+      const Op& op = list[i];
+      if (op.has_send()) {
+        sends[{r, op.dst, op.send_tag}].push_back(
+            {r, i, op.send_bytes, op.send_off});
+      }
+      if (op.has_recv()) {
+        recvs[{op.src, r, op.recv_tag}].push_back(
+            {r, i, op.recv_cap, op.recv_off});
+      }
+    }
+  }
+
+  MatchResult out;
+  out.send_msg_of.resize(sched.nranks);
+  out.recv_msg_of.resize(sched.nranks);
+  for (int r = 0; r < sched.nranks; ++r) {
+    out.send_msg_of[r].assign(sched.ops[r].size(), -1);
+    out.recv_msg_of[r].assign(sched.ops[r].size(), -1);
+  }
+
+  auto channel_name = [](const ChannelKey& k) {
+    return "channel (src=" + std::to_string(std::get<0>(k)) +
+           ", dst=" + std::to_string(std::get<1>(k)) +
+           ", tag=" + std::to_string(std::get<2>(k)) + ")";
+  };
+
+  for (const auto& [key, slist] : sends) {
+    const auto rit = recvs.find(key);
+    const std::size_t nrecvs = rit == recvs.end() ? 0 : rit->second.size();
+    if (slist.size() != nrecvs) {
+      throw ScheduleError("unbalanced " + channel_name(key) + ": " +
+                          std::to_string(slist.size()) + " send(s) vs " +
+                          std::to_string(nrecvs) + " receive(s)");
+    }
+    for (std::size_t i = 0; i < slist.size(); ++i) {
+      const HalfRef& s = slist[i];
+      const HalfRef& v = rit->second[i];
+      if (s.bytes_or_cap > v.bytes_or_cap) {
+        throw ScheduleError("truncation on " + channel_name(key) + ": send #" +
+                            std::to_string(i) + " carries " +
+                            std::to_string(s.bytes_or_cap) +
+                            " bytes into a " + std::to_string(v.bytes_or_cap) +
+                            "-byte receive");
+      }
+      MatchedMsg m;
+      m.src = std::get<0>(key);
+      m.dst = std::get<1>(key);
+      m.tag = std::get<2>(key);
+      m.bytes = s.bytes_or_cap;
+      m.src_off = s.off;
+      m.dst_off = v.off;
+      m.src_op = s.op;
+      m.dst_op = v.op;
+      const int id = static_cast<int>(out.msgs.size());
+      out.msgs.push_back(m);
+      out.send_msg_of[m.src][m.src_op] = id;
+      out.recv_msg_of[m.dst][m.dst_op] = id;
+    }
+  }
+
+  // Receives with no send at all on their channel.
+  for (const auto& [key, rlist] : recvs) {
+    if (sends.find(key) == sends.end()) {
+      throw ScheduleError("unbalanced " + channel_name(key) + ": 0 send(s) vs " +
+                          std::to_string(rlist.size()) + " receive(s)");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace bsb::trace

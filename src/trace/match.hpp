@@ -1,0 +1,38 @@
+// Pair up every send half with its receive half across a schedule, using
+// MPI's matching rule: per (source, dest, tag) channel, sends match
+// receives in program order (non-overtaking). The result drives the
+// coverage validator, the traffic counters and the discrete-event replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+/// One matched message.
+struct MatchedMsg {
+  int src = -1;
+  int dst = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;     // sender's byte count (<= receiver capacity)
+  std::uint64_t src_off = 0;   // offset in the buffer at the sender
+  std::uint64_t dst_off = 0;   // offset in the buffer at the receiver
+  int src_op = -1;             // index into schedule.ops[src]
+  int dst_op = -1;             // index into schedule.ops[dst]
+};
+
+struct MatchResult {
+  std::vector<MatchedMsg> msgs;
+  /// send_msg_of[rank][op] = message id of that op's send half, or -1.
+  std::vector<std::vector<int>> send_msg_of;
+  /// recv_msg_of[rank][op] = message id of that op's receive half, or -1.
+  std::vector<std::vector<int>> recv_msg_of;
+};
+
+/// Match all messages. Throws ScheduleError when a channel has unequal send
+/// and receive counts, or a send exceeds the matched receive capacity.
+MatchResult match_schedule(const Schedule& sched);
+
+}  // namespace bsb::trace

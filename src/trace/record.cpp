@@ -1,0 +1,93 @@
+#include "trace/record.hpp"
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::trace {
+
+RecordingComm::RecordingComm(int rank, int nranks, std::span<const std::byte> base,
+                             std::vector<Op>& out)
+    : rank_(rank), nranks_(nranks), base_(base), out_(&out) {
+  BSB_REQUIRE(nranks > 0 && rank >= 0 && rank < nranks,
+              "RecordingComm: rank out of range");
+}
+
+std::uint64_t RecordingComm::offset_of(std::span<const std::byte> buf) const {
+  if (buf.empty()) return 0;
+  if (buf.data() < base_.data() ||
+      buf.data() + buf.size() > base_.data() + base_.size()) {
+    return kForeignOffset;  // outside the collective's buffer (scratch)
+  }
+  return static_cast<std::uint64_t>(buf.data() - base_.data());
+}
+
+void RecordingComm::send(std::span<const std::byte> buf, int dest, int tag) {
+  BSB_REQUIRE(dest >= 0 && dest < nranks_, "record send: destination out of range");
+  BSB_REQUIRE(tag >= 0, "record send: tag must be nonnegative");
+  Op op;
+  op.kind = OpKind::Send;
+  op.dst = dest;
+  op.send_tag = tag;
+  op.send_bytes = buf.size();
+  op.send_off = offset_of(buf);
+  out_->push_back(op);
+}
+
+Status RecordingComm::recv(std::span<std::byte> buf, int source, int tag) {
+  BSB_REQUIRE(source != kAnySource && tag != kAnyTag,
+              "record recv: wildcards make schedules nondeterministic");
+  BSB_REQUIRE(source >= 0 && source < nranks_, "record recv: source out of range");
+  Op op;
+  op.kind = OpKind::Recv;
+  op.src = source;
+  op.recv_tag = tag;
+  op.recv_cap = buf.size();
+  op.recv_off = offset_of(buf);
+  out_->push_back(op);
+  // The recorder cannot know the actual matched size; report the capacity.
+  // Data-oblivious algorithms may not branch on this anyway.
+  return Status{source, tag, buf.size()};
+}
+
+Status RecordingComm::sendrecv(std::span<const std::byte> sendbuf, int dest,
+                               int sendtag, std::span<std::byte> recvbuf,
+                               int source, int recvtag) {
+  BSB_REQUIRE(source != kAnySource && recvtag != kAnyTag,
+              "record sendrecv: wildcards make schedules nondeterministic");
+  BSB_REQUIRE(dest >= 0 && dest < nranks_, "record sendrecv: destination out of range");
+  BSB_REQUIRE(source >= 0 && source < nranks_, "record sendrecv: source out of range");
+  BSB_REQUIRE(sendtag >= 0, "record sendrecv: tag must be nonnegative");
+  Op op;
+  op.kind = OpKind::SendRecv;
+  op.dst = dest;
+  op.send_tag = sendtag;
+  op.send_bytes = sendbuf.size();
+  op.send_off = offset_of(sendbuf);
+  op.src = source;
+  op.recv_tag = recvtag;
+  op.recv_cap = recvbuf.size();
+  op.recv_off = offset_of(recvbuf);
+  out_->push_back(op);
+  return Status{source, recvtag, recvbuf.size()};
+}
+
+void RecordingComm::barrier() {
+  Op op;
+  op.kind = OpKind::Barrier;
+  out_->push_back(op);
+}
+
+Schedule record_schedule(int nranks, std::uint64_t nbytes, const RankProgram& program) {
+  BSB_REQUIRE(nranks > 0, "record_schedule: nranks must be positive");
+  Schedule sched;
+  sched.nranks = nranks;
+  sched.nbytes = nbytes;
+  sched.ops.resize(nranks);
+  std::vector<std::byte> scratch(nbytes);
+  for (int r = 0; r < nranks; ++r) {
+    RecordingComm rec(r, nranks, scratch, sched.ops[r]);
+    program(rec, std::span<std::byte>(scratch));
+  }
+  return sched;
+}
+
+}  // namespace bsb::trace

@@ -1,0 +1,57 @@
+// RecordingComm: a Comm implementation that captures the operation sequence
+// of a data-oblivious algorithm instead of moving bytes. Each rank's
+// program is run sequentially against its own recorder; nothing blocks
+// because no data is exchanged.
+//
+// Requirements on recorded algorithms (all our collectives satisfy them):
+//  * data-oblivious: the op sequence depends only on (P, root, nbytes),
+//    never on buffer contents or received values;
+//  * single-buffer: every span passed to send/recv lies inside the buffer
+//    handed to the program (offsets are recorded relative to it);
+//  * deterministic: wildcard source/tag receives are rejected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+class RecordingComm final : public Comm {
+ public:
+  /// Records ops of rank `rank` (of `nranks`) into `out`. `base` is the
+  /// collective's data buffer; recorded offsets are relative to it.
+  RecordingComm(int rank, int nranks, std::span<const std::byte> base,
+                std::vector<Op>& out);
+
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return nranks_; }
+
+  void send(std::span<const std::byte> buf, int dest, int tag) override;
+  Status recv(std::span<std::byte> buf, int source, int tag) override;
+  Status sendrecv(std::span<const std::byte> sendbuf, int dest, int sendtag,
+                  std::span<std::byte> recvbuf, int source, int recvtag) override;
+  void barrier() override;
+
+ private:
+  std::uint64_t offset_of(std::span<const std::byte> buf) const;
+
+  int rank_;
+  int nranks_;
+  std::span<const std::byte> base_;
+  std::vector<Op>* out_;
+};
+
+/// A per-rank algorithm body: receives this rank's communicator and the
+/// shared-size data buffer (scratch bytes during recording).
+using RankProgram = std::function<void(Comm& comm, std::span<std::byte> buffer)>;
+
+/// Run `program` once per rank against a recorder and return the captured
+/// schedule for a buffer of `nbytes`.
+Schedule record_schedule(int nranks, std::uint64_t nbytes, const RankProgram& program);
+
+}  // namespace bsb::trace

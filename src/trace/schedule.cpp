@@ -1,0 +1,56 @@
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Send: return "Send";
+    case OpKind::Recv: return "Recv";
+    case OpKind::SendRecv: return "SendRecv";
+    case OpKind::Barrier: return "Barrier";
+  }
+  return "?";
+}
+
+std::uint64_t Schedule::total_ops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : ops) n += r.size();
+  return n;
+}
+
+std::uint64_t Schedule::total_sends() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : ops) {
+    for (const Op& op : r) {
+      if (op.has_send()) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Schedule::total_send_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : ops) {
+    for (const Op& op : r) {
+      if (op.has_send()) n += op.send_bytes;
+    }
+  }
+  return n;
+}
+
+Schedule Schedule::replicate(int iters) const {
+  BSB_REQUIRE(iters >= 1, "replicate: iters must be >= 1");
+  Schedule out;
+  out.nranks = nranks;
+  out.nbytes = nbytes;
+  out.ops.resize(ops.size());
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    out.ops[r].reserve(ops[r].size() * iters);
+    for (int i = 0; i < iters; ++i) {
+      out.ops[r].insert(out.ops[r].end(), ops[r].begin(), ops[r].end());
+    }
+  }
+  return out;
+}
+
+}  // namespace bsb::trace

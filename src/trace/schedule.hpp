@@ -1,0 +1,72 @@
+// Communication schedules: the per-rank sequence of point-to-point
+// operations a (data-oblivious) collective algorithm performs for a given
+// (P, root, nbytes). Schedules are captured by RecordingComm, validated by
+// match/coverage, counted by counters, and replayed under a cost model by
+// the netsim discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::trace {
+
+/// Schedule-level validation failure (unmatched message, truncation, ...).
+class ScheduleError : public Error {
+ public:
+  explicit ScheduleError(const std::string& what) : Error(what) {}
+};
+
+enum class OpKind : std::uint8_t { Send, Recv, SendRecv, Barrier };
+
+/// Offset recorded for spans that live OUTSIDE the collective's data buffer
+/// (e.g. Bruck's rotation scratch). Such schedules replay fine (timing does
+/// not depend on offsets) but cannot be dataflow-validated.
+inline constexpr std::uint64_t kForeignOffset = ~std::uint64_t{0};
+
+const char* to_string(OpKind k) noexcept;
+
+/// One blocking operation of one rank. Send halves are valid for
+/// Send/SendRecv, receive halves for Recv/SendRecv. Offsets are relative to
+/// the collective's data buffer (all our broadcast algorithms operate on a
+/// single buffer), enabling symbolic dataflow validation.
+struct Op {
+  OpKind kind = OpKind::Barrier;
+  // send half
+  int dst = -1;
+  int send_tag = -1;
+  std::uint64_t send_bytes = 0;
+  std::uint64_t send_off = 0;
+  // receive half
+  int src = -1;
+  int recv_tag = -1;
+  std::uint64_t recv_cap = 0;
+  std::uint64_t recv_off = 0;
+
+  bool has_send() const noexcept {
+    return kind == OpKind::Send || kind == OpKind::SendRecv;
+  }
+  bool has_recv() const noexcept {
+    return kind == OpKind::Recv || kind == OpKind::SendRecv;
+  }
+};
+
+struct Schedule {
+  int nranks = 0;
+  std::uint64_t nbytes = 0;              // size of the collective's buffer
+  std::vector<std::vector<Op>> ops;      // ops[rank] in program order
+
+  std::uint64_t total_ops() const noexcept;
+  /// Number of messages initiated (send halves).
+  std::uint64_t total_sends() const noexcept;
+  /// Sum of bytes over all send halves.
+  std::uint64_t total_send_bytes() const noexcept;
+
+  /// The same schedule repeated `iters` times per rank back-to-back — the
+  /// paper's measurement loop (one barrier, then N broadcasts).
+  Schedule replicate(int iters) const;
+};
+
+}  // namespace bsb::trace

@@ -1,0 +1,60 @@
+// Shared helpers for broadcast-algorithm tests: run an algorithm on the
+// thread backend and verify every rank ends with the root's exact bytes,
+// and record/validate schedules symbolically.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bsbutil/rng.hpp"
+#include "comm/comm.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+#include "trace/coverage.hpp"
+#include "trace/match.hpp"
+#include "trace/record.hpp"
+
+namespace bsb::testutil {
+
+using BcastBody = std::function<void(Comm&, std::span<std::byte>, int root)>;
+
+/// Run `body` as a broadcast of `nbytes` patterned bytes from `root` over
+/// `nranks` threads; EXPECT every rank's buffer to match the root pattern.
+inline void check_bcast_on_threads(int nranks, std::uint64_t nbytes, int root,
+                                   const BcastBody& body,
+                                   mpisim::WorldConfig cfg = {}) {
+  const std::uint64_t seed = 0xB0A5'1000 + nranks * 131 + root;
+  mpisim::World world(nranks, cfg);
+  world.run([&](mpisim::ThreadComm& comm) {
+    std::vector<std::byte> buf(nbytes);
+    if (comm.rank() == root) {
+      fill_pattern(buf, seed);
+    }
+    body(comm, buf, root);
+    const std::size_t bad = first_pattern_mismatch(buf, seed);
+    EXPECT_EQ(bad, buf.size()) << "rank " << comm.rank() << " of " << nranks
+                               << " root " << root << " nbytes " << nbytes
+                               << ": first mismatch at byte " << bad;
+  });
+}
+
+/// Record `body` and symbolically validate: matched schedule, no garbage
+/// sends, aligned delivery, full final coverage on every rank.
+inline void check_bcast_coverage(int nranks, std::uint64_t nbytes, int root,
+                                 const BcastBody& body) {
+  const trace::Schedule sched = trace::record_schedule(
+      nranks, nbytes, [&](Comm& comm, std::span<std::byte> buffer) {
+        body(comm, buffer, root);
+      });
+  const trace::MatchResult m = trace::match_schedule(sched);
+  const trace::CoverageReport report = trace::validate_coverage(sched, m, root);
+  EXPECT_TRUE(report.ok) << "P=" << nranks << " nbytes=" << nbytes
+                         << " root=" << root << "\n"
+                         << report.diagnostics;
+}
+
+}  // namespace bsb::testutil

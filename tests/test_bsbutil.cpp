@@ -1,0 +1,313 @@
+// Unit tests for the utility layer: interval algebra, integer math, RNG
+// patterns, CSV escaping, table and plot rendering.
+#include <gtest/gtest.h>
+
+#include "bsbutil/ascii_plot.hpp"
+#include "bsbutil/csv.hpp"
+#include "bsbutil/format.hpp"
+#include "bsbutil/intervals.hpp"
+#include "bsbutil/math.hpp"
+#include "bsbutil/rng.hpp"
+#include "bsbutil/table.hpp"
+
+namespace bsb {
+namespace {
+
+// ------------------------------------------------------------------- math
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Math, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW(floor_log2(0), PreconditionError);
+  EXPECT_THROW(ceil_log2(0), PreconditionError);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(8), 8u);
+  EXPECT_EQ(next_pow2(9), 16u);
+  EXPECT_EQ(next_pow2(129), 256u);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_THROW(ceil_div(4, 0), PreconditionError);
+}
+
+// -------------------------------------------------------------- intervals
+
+TEST(Intervals, EmptyAndSingle) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  s.insert({5, 10});
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.contains({5, 10}));
+  EXPECT_TRUE(s.contains({6, 9}));
+  EXPECT_FALSE(s.contains({4, 6}));
+  EXPECT_FALSE(s.contains({9, 11}));
+}
+
+TEST(Intervals, EmptyIntervalIsNoop) {
+  IntervalSet s;
+  s.insert({7, 7});
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.contains({3, 3}));   // empty query always contained
+  EXPECT_FALSE(s.intersects({3, 3}));
+}
+
+TEST(Intervals, MergeAdjacent) {
+  IntervalSet s;
+  s.insert({0, 4});
+  s.insert({4, 8});
+  EXPECT_EQ(s.parts().size(), 1u);
+  EXPECT_TRUE(s.contains({0, 8}));
+}
+
+TEST(Intervals, MergeOverlapping) {
+  IntervalSet s;
+  s.insert({0, 5});
+  s.insert({10, 15});
+  s.insert({3, 12});
+  EXPECT_EQ(s.parts().size(), 1u);
+  EXPECT_EQ(s.size(), 15u);
+}
+
+TEST(Intervals, DisjointStayDisjoint) {
+  IntervalSet s;
+  s.insert({10, 15});
+  s.insert({0, 5});
+  ASSERT_EQ(s.parts().size(), 2u);
+  EXPECT_EQ(s.parts()[0], (Interval{0, 5}));
+  EXPECT_EQ(s.parts()[1], (Interval{10, 15}));
+  EXPECT_FALSE(s.contains({4, 11}));
+  EXPECT_TRUE(s.intersects({4, 11}));
+  EXPECT_FALSE(s.intersects({5, 10}));
+}
+
+TEST(Intervals, EraseSplits) {
+  IntervalSet s;
+  s.insert({0, 10});
+  s.erase({3, 7});
+  ASSERT_EQ(s.parts().size(), 2u);
+  EXPECT_TRUE(s.contains({0, 3}));
+  EXPECT_TRUE(s.contains({7, 10}));
+  EXPECT_FALSE(s.intersects({3, 7}));
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(Intervals, EraseAcrossParts) {
+  IntervalSet s;
+  s.insert({0, 4});
+  s.insert({6, 10});
+  s.insert({12, 16});
+  s.erase({2, 13});
+  ASSERT_EQ(s.parts().size(), 2u);
+  EXPECT_EQ(s.parts()[0], (Interval{0, 2}));
+  EXPECT_EQ(s.parts()[1], (Interval{13, 16}));
+}
+
+TEST(Intervals, Overlap) {
+  IntervalSet s;
+  s.insert({0, 4});
+  s.insert({8, 12});
+  EXPECT_EQ(s.overlap({2, 10}), 4u);
+  EXPECT_EQ(s.overlap({4, 8}), 0u);
+  EXPECT_EQ(s.overlap({0, 12}), 8u);
+}
+
+TEST(Intervals, Complement) {
+  IntervalSet s;
+  s.insert({2, 4});
+  s.insert({6, 8});
+  const IntervalSet c = s.complement(10);
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_TRUE(c.contains({0, 2}));
+  EXPECT_TRUE(c.contains({4, 6}));
+  EXPECT_TRUE(c.contains({8, 10}));
+  EXPECT_FALSE(c.intersects({2, 4}));
+
+  IntervalSet full;
+  full.insert({0, 10});
+  EXPECT_TRUE(full.complement(10).empty());
+}
+
+TEST(Intervals, MergeSets) {
+  IntervalSet a, b;
+  a.insert({0, 5});
+  b.insert({5, 10});
+  b.insert({20, 30});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_TRUE(a.contains({0, 10}));
+}
+
+TEST(Intervals, RandomizedAgainstBitset) {
+  // Property check: interval algebra agrees with a brute-force bitmap.
+  SplitMix64 rng(1234);
+  constexpr std::uint64_t N = 256;
+  IntervalSet s;
+  std::vector<bool> ref(N, false);
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t lo = rng.next_below(N);
+    const std::uint64_t hi = lo + rng.next_below(N - lo + 1);
+    if (rng.next_below(3) == 0) {
+      s.erase({lo, hi});
+      for (std::uint64_t i = lo; i < hi; ++i) ref[i] = false;
+    } else {
+      s.insert({lo, hi});
+      for (std::uint64_t i = lo; i < hi; ++i) ref[i] = true;
+    }
+    std::uint64_t ref_size = 0;
+    for (bool v : ref) ref_size += v;
+    ASSERT_EQ(s.size(), ref_size) << "step " << step;
+    // spot-check contains/intersects on a random probe
+    const std::uint64_t plo = rng.next_below(N);
+    const std::uint64_t phi = plo + rng.next_below(N - plo + 1);
+    bool all = true, any = false;
+    for (std::uint64_t i = plo; i < phi; ++i) {
+      all = all && ref[i];
+      any = any || ref[i];
+    }
+    ASSERT_EQ(s.contains({plo, phi}), all || plo == phi) << "step " << step;
+    ASSERT_EQ(s.intersects({plo, phi}), any) << "step " << step;
+  }
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, PatternDetectsCorruption) {
+  std::vector<std::byte> buf(1024);
+  fill_pattern(buf, 99);
+  EXPECT_EQ(first_pattern_mismatch(buf, 99), buf.size());
+  buf[517] ^= std::byte{1};
+  EXPECT_EQ(first_pattern_mismatch(buf, 99), 517u);
+}
+
+TEST(Rng, PatternPositionDependent) {
+  std::vector<std::byte> a(64), b(64);
+  fill_pattern(a, 5, 0);
+  fill_pattern(b, 5, 1);  // shifted base: must differ somewhere
+  EXPECT_NE(0u, static_cast<unsigned>(first_pattern_mismatch(b, 5, 0) != 64));
+}
+
+// ----------------------------------------------------------------- format
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(12288), "12KiB");
+  EXPECT_EQ(format_bytes(524288), "512KiB");
+  EXPECT_EQ(format_bytes(1048576), "1MiB");
+  EXPECT_EQ(format_bytes(524287), "524287");
+  EXPECT_EQ(format_bytes(1073741824ULL), "1GiB");
+}
+
+TEST(Format, Time) {
+  EXPECT_EQ(format_time(1.5e-6), "1.50us");
+  EXPECT_EQ(format_time(2.5e-3), "2.50ms");
+  EXPECT_EQ(format_time(1.25), "1.250s");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.123), "+12.3%");
+  EXPECT_EQ(format_percent(-0.05), "-5.0%");
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, Escape) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = testing::TempDir() + "/bsb_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.row({"a", "b,c"});
+    w.row({"1", "2"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,c\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsColumns) {
+  Table t({"P", "name"});
+  t.add({"8", "native"});
+  t.add({"128", "tuned"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("  8  native"), std::string::npos);
+  EXPECT_NE(out.find("128  tuned"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+// ------------------------------------------------------------------- plot
+
+TEST(Plot, RendersSeriesMarkers) {
+  Series s1{"native", 'o', {1, 2, 4, 8}, {10, 20, 40, 80}};
+  Series s2{"tuned", '*', {1, 2, 4, 8}, {12, 25, 50, 100}};
+  PlotOptions opt;
+  opt.title = "demo";
+  const std::string out = render_plot({s1, s2}, opt);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("o native"), std::string::npos);
+  EXPECT_NE(out.find("* tuned"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Plot, RejectsNonPositiveOnLogScale) {
+  Series s{"bad", 'x', {0.0}, {1.0}};
+  EXPECT_THROW(render_plot({s}, PlotOptions{}), PreconditionError);
+}
+
+TEST(Plot, EmptyPlot) {
+  EXPECT_EQ(render_plot({}, PlotOptions{}), "(empty plot)\n");
+}
+
+}  // namespace
+}  // namespace bsb

@@ -1,0 +1,206 @@
+// Randomized stress tests ("chaos"): deterministic pseudo-random traffic
+// scripts exercised on the thread backend, and random compositions of
+// collectives over random communicator splits — each verified against
+// locally computed oracles. Seeds are fixed so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bsbutil/rng.hpp"
+#include "coll/comm_split.hpp"
+#include "coll/gather_binomial.hpp"
+#include "coll/reduce.hpp"
+#include "core/bcast.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+
+namespace bsb {
+namespace {
+
+// Every rank derives the SAME traffic script from the seed: a list of
+// (src, dst, tag, size) messages. Each rank sends its share in script
+// order and receives its share in script order — matching must pair them
+// correctly under arbitrary thread interleaving.
+struct ScriptedMsg {
+  int src;
+  int dst;
+  int tag;
+  std::size_t bytes;
+  std::uint64_t pattern_seed;
+};
+
+std::vector<ScriptedMsg> make_script(std::uint64_t seed, int P, int nmsgs) {
+  SplitMix64 rng(seed);
+  std::vector<ScriptedMsg> script;
+  script.reserve(nmsgs);
+  for (int i = 0; i < nmsgs; ++i) {
+    ScriptedMsg m;
+    m.src = static_cast<int>(rng.next_below(P));
+    m.dst = static_cast<int>(rng.next_below(P));
+    if (m.dst == m.src) m.dst = (m.dst + 1) % P;  // avoid self-deadlock risk
+    m.tag = static_cast<int>(rng.next_below(4));
+    m.bytes = static_cast<std::size_t>(rng.next_below(3000));
+    m.pattern_seed = rng.next();
+    script.push_back(m);
+  }
+  return script;
+}
+
+class ChaosP2P : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosP2P, ScriptedTrafficDeliversEverything) {
+  const std::uint64_t seed = GetParam();
+  const int P = 3 + static_cast<int>(seed % 6);  // 3..8 ranks
+  const int nmsgs = 120;
+  const auto script = make_script(seed, P, nmsgs);
+
+  mpisim::WorldConfig cfg;
+  cfg.eager_threshold = 1024;  // mix of eager and rendezvous
+  cfg.watchdog_seconds = 60;
+  mpisim::World world(P, cfg);
+  world.run([&](mpisim::ThreadComm& comm) {
+    const int me = comm.rank();
+    // Interleave: walk the script; issue nonblocking receives for messages
+    // addressed to us as soon as we meet them, sends when we are the
+    // source. FIFO per (src,dst,tag) is preserved because the script order
+    // IS the post order on both sides.
+    std::vector<mpisim::Request> pending;
+    std::vector<std::vector<std::byte>> inboxes;
+    std::vector<const ScriptedMsg*> expected;
+    for (const ScriptedMsg& m : script) {
+      if (m.dst == me) {
+        inboxes.emplace_back(m.bytes);
+        expected.push_back(&m);
+        pending.push_back(comm.irecv(inboxes.back(), m.src, m.tag));
+      }
+      if (m.src == me) {
+        std::vector<std::byte> payload(m.bytes);
+        fill_pattern(payload, m.pattern_seed);
+        comm.send(payload, m.dst, m.tag);  // blocking send is fine: recvs
+                                           // were pre-posted in order
+      }
+    }
+    mpisim::wait_all(pending);
+    for (std::size_t i = 0; i < inboxes.size(); ++i) {
+      EXPECT_EQ(first_pattern_mismatch(inboxes[i], expected[i]->pattern_seed),
+                inboxes[i].size())
+          << "rank " << me << " message " << i;
+    }
+  });
+  EXPECT_EQ(world.total_msgs(), static_cast<std::uint64_t>(nmsgs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosP2P,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// Careful: blocking sends with pre-posted receives can still deadlock if a
+// rendezvous send's match sits behind OUR OWN unposted receive. The script
+// walk above posts ALL our receives for earlier script entries before any
+// later send, which is exactly the order every other rank uses — so every
+// rendezvous send finds its receive already posted or soon posted by a
+// rank that is not blocked on us. The watchdog converts any mistake in
+// this reasoning into a test failure rather than a hang.
+
+class ChaosCollectives : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosCollectives, RandomCompositionMatchesOracle) {
+  const std::uint64_t seed = GetParam();
+  SplitMix64 plan_rng(seed);
+  const int P = 4 + static_cast<int>(plan_rng.next_below(6));  // 4..9
+  const int rounds = 6;
+
+  // Pre-generate the composition plan (identical on every rank).
+  struct Round {
+    int kind;            // 0 bcast, 1 reduce, 2 gather, 3 allreduce
+    int root;
+    std::size_t bytes;
+    int split_colors;    // 1 = whole world, 2 = split in two groups
+  };
+  std::vector<Round> plan;
+  for (int i = 0; i < rounds; ++i) {
+    Round r;
+    r.kind = static_cast<int>(plan_rng.next_below(4));
+    r.root = static_cast<int>(plan_rng.next_below(P));
+    r.bytes = 8 * (1 + plan_rng.next_below(2000));
+    r.split_colors = plan_rng.next_below(3) == 0 ? 2 : 1;
+    plan.push_back(r);
+  }
+
+  mpisim::World world(P);
+  world.run([&](mpisim::ThreadComm& world_comm) {
+    for (int i = 0; i < rounds; ++i) {
+      const Round& r = plan[i];
+      // Optionally split; groups are {ranks < P/2} and the rest.
+      std::optional<SubComm> sub;
+      Comm* comm = &world_comm;
+      int root = r.root;
+      int base = 0, n = P;
+      if (r.split_colors == 2) {
+        const int color = world_comm.rank() < P / 2 ? 0 : 1;
+        sub = coll::comm_split(world_comm, color, world_comm.rank(),
+                               /*base_context=*/100 + 2 * i);
+        comm = &*sub;
+        base = color == 0 ? 0 : P / 2;
+        n = comm->size();
+        root = root % n;
+      }
+      const int me = comm->rank();
+
+      switch (r.kind) {
+        case 0: {  // bcast, oracle = pattern
+          std::vector<std::byte> buf(r.bytes);
+          const std::uint64_t ps = seed * 1000 + i;
+          if (me == root) fill_pattern(buf, ps);
+          core::bcast(*comm, buf, root);
+          ASSERT_EQ(first_pattern_mismatch(buf, ps), buf.size())
+              << "round " << i << " rank " << world_comm.rank();
+          break;
+        }
+        case 1: {  // reduce sum of (global rank + 1)
+          std::vector<std::int64_t> v{world_comm.rank() + 1ll};
+          std::vector<std::int64_t> out(me == root ? 1 : 0);
+          coll::reduce_binomial(*comm, std::span<const std::int64_t>(v),
+                                std::span<std::int64_t>(out), coll::SumOp{},
+                                root);
+          if (me == root) {
+            std::int64_t expect = 0;
+            for (int q = base; q < base + n; ++q) expect += q + 1;
+            ASSERT_EQ(out[0], expect) << "round " << i;
+          }
+          break;
+        }
+        case 2: {  // gather of 16-byte patterned blocks
+          std::vector<std::byte> mine(16);
+          fill_pattern(mine, 7000 + world_comm.rank());
+          std::vector<std::byte> all(me == root ? 16 * n : 0);
+          coll::gather_binomial(*comm, mine, all, 16, root);
+          if (me == root) {
+            for (int q = 0; q < n; ++q) {
+              ASSERT_EQ(first_pattern_mismatch(
+                            std::span<const std::byte>(all.data() + 16 * q, 16),
+                            7000 + base + q),
+                        16u)
+                  << "round " << i << " block " << q;
+            }
+          }
+          break;
+        }
+        case 3: {  // allreduce max of global rank
+          std::vector<int> v{world_comm.rank()};
+          coll::allreduce(*comm, std::span<int>(v), coll::MaxOp{});
+          ASSERT_EQ(v[0], base + n - 1) << "round " << i;
+          break;
+        }
+        default:
+          FAIL();
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosCollectives,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u,
+                                           707u, 808u));
+
+}  // namespace
+}  // namespace bsb

@@ -1,0 +1,182 @@
+// Comm conformance suite: the SAME battery of semantic checks runs against
+// every blocking-communicator view the library offers — a direct
+// ThreadComm world and a SubComm window onto a larger world. Any Comm
+// implementation added later can join the suite by providing a harness.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bsbutil/rng.hpp"
+#include "comm/subcomm.hpp"
+#include "mpisim/errors.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+
+namespace bsb {
+namespace {
+
+/// A harness runs `body(comm)` on every rank of an N-rank communicator of
+/// the flavour under test.
+using Body = std::function<void(Comm&)>;
+
+struct Harness {
+  std::string name;
+  std::function<void(int nranks, const Body&)> run;
+};
+
+std::vector<Harness> harnesses() {
+  return {
+      {"ThreadComm",
+       [](int nranks, const Body& body) {
+         mpisim::World world(nranks);
+         world.run([&](mpisim::ThreadComm& comm) { body(comm); });
+       }},
+      {"SubCommDense",  // subgroup = ranks 1..n of a world with 2 extras
+       [](int nranks, const Body& body) {
+         mpisim::World world(nranks + 2);
+         world.run([&](mpisim::ThreadComm& comm) {
+           if (comm.rank() == 0 || comm.rank() == nranks + 1) return;
+           std::vector<int> members;
+           for (int r = 1; r <= nranks; ++r) members.push_back(r);
+           SubComm sub(comm, std::move(members), /*context=*/3);
+           body(sub);
+         });
+       }},
+      {"SubCommStrided",  // subgroup = every other rank, reversed order
+       [](int nranks, const Body& body) {
+         mpisim::World world(2 * nranks);
+         world.run([&](mpisim::ThreadComm& comm) {
+           if (comm.rank() % 2 != 0) return;
+           std::vector<int> members;
+           for (int r = 2 * (nranks - 1); r >= 0; r -= 2) members.push_back(r);
+           SubComm sub(comm, std::move(members), /*context=*/4);
+           body(sub);
+         });
+       }},
+  };
+}
+
+class CommConformance : public ::testing::TestWithParam<int> {
+ protected:
+  void run_all(int nranks, const Body& body) {
+    const Harness h = harnesses()[static_cast<std::size_t>(GetParam())];
+    SCOPED_TRACE(h.name);
+    h.run(nranks, body);
+  }
+};
+
+TEST_P(CommConformance, RankAndSizeAreConsistent) {
+  run_all(5, [](Comm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 5);
+  });
+}
+
+TEST_P(CommConformance, PointToPointRoundTrip) {
+  run_all(4, [](Comm& comm) {
+    const int me = comm.rank();
+    if (me == 0) {
+      std::vector<std::byte> msg(257);
+      fill_pattern(msg, 42);
+      comm.send(msg, 3, 7);
+      std::byte ack{};
+      const Status st = comm.recv({&ack, 1}, 3, 8);
+      EXPECT_EQ(st.source, 3);
+      EXPECT_EQ(std::to_integer<int>(ack), 0x5A);
+    } else if (me == 3) {
+      std::vector<std::byte> msg(300);
+      const Status st = comm.recv(msg, 0, 7);
+      EXPECT_EQ(st.bytes, 257u);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(first_pattern_mismatch(
+                    std::span<const std::byte>(msg.data(), st.bytes), 42),
+                st.bytes);
+      const std::byte ack{0x5A};
+      comm.send({&ack, 1}, 0, 8);
+    }
+  });
+}
+
+TEST_P(CommConformance, NonOvertakingPerChannel) {
+  run_all(2, [](Comm& comm) {
+    constexpr int kN = 20;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        const std::byte b{static_cast<unsigned char>(i)};
+        comm.send({&b, 1}, 1, 1);
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        std::byte b{};
+        comm.recv({&b, 1}, 0, 1);
+        EXPECT_EQ(std::to_integer<int>(b), i);
+      }
+    }
+  });
+}
+
+TEST_P(CommConformance, SendrecvRingNoDeadlock) {
+  run_all(6, [](Comm& comm) {
+    const int n = comm.size();
+    const int me = comm.rank();
+    std::vector<std::byte> out(2048), in(2048);
+    fill_pattern(out, 900 + me);
+    const Status st = comm.sendrecv(out, (me + 1) % n, 2, in, (me + n - 1) % n, 2);
+    EXPECT_EQ(st.source, (me + n - 1) % n);
+    EXPECT_EQ(first_pattern_mismatch(in, 900 + (me + n - 1) % n), in.size());
+  });
+}
+
+TEST_P(CommConformance, ZeroByteMessages) {
+  run_all(3, [](Comm& comm) {
+    const int me = comm.rank();
+    if (me == 0) {
+      comm.send({}, 1, 0);
+    } else if (me == 1) {
+      const Status st = comm.recv({}, 0, 0);
+      EXPECT_EQ(st.bytes, 0u);
+      EXPECT_EQ(st.source, 0);
+    }
+  });
+}
+
+TEST_P(CommConformance, BarrierOrdersSideEffects) {
+  auto flag = std::make_shared<std::atomic<int>>(0);
+  run_all(4, [flag](Comm& comm) {
+    flag->fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(flag->load(), 4);
+    comm.barrier();
+    comm.barrier();  // repeated barriers must keep working
+  });
+}
+
+TEST_P(CommConformance, TagsSeparateTraffic) {
+  run_all(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::byte a{1}, b{2};
+      comm.send({&a, 1}, 1, 10);
+      comm.send({&b, 1}, 1, 20);
+    } else {
+      std::byte b{};
+      comm.recv({&b, 1}, 0, 20);  // fetch the SECOND message first, by tag
+      EXPECT_EQ(std::to_integer<int>(b), 2);
+      comm.recv({&b, 1}, 0, 10);
+      EXPECT_EQ(std::to_integer<int>(b), 1);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComms, CommConformance, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return harnesses()[static_cast<std::size_t>(
+                                                  info.param)]
+                               .name;
+                         });
+
+}  // namespace
+}  // namespace bsb

@@ -1,0 +1,240 @@
+// Tests for the MPI-compatibility facade: environment, point-to-point,
+// collectives with typed datatypes/ops, communicator split/free, status
+// and count handling, and misuse diagnostics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "mpi/mpi.hpp"
+
+namespace bsb::mpi {
+namespace {
+
+TEST(Facade, RankSizeAndWtime) {
+  run(4, [] {
+    int rank = -1, size = -1;
+    EXPECT_EQ(MPI_Comm_rank(MPI_COMM_WORLD, &rank), MPI_SUCCESS);
+    EXPECT_EQ(MPI_Comm_size(MPI_COMM_WORLD, &size), MPI_SUCCESS);
+    EXPECT_EQ(size, 4);
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 4);
+    const double t0 = MPI_Wtime();
+    const double t1 = MPI_Wtime();
+    EXPECT_GE(t1, t0);
+  });
+}
+
+TEST(Facade, CallsOutsideRunAreDiagnosed) {
+  int rank;
+  EXPECT_THROW(MPI_Comm_rank(MPI_COMM_WORLD, &rank), PreconditionError);
+}
+
+TEST(Facade, SendRecvWithStatusAndGetCount) {
+  run(2, [] {
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      const std::vector<double> v{3.5, -1.25};
+      MPI_Send(v.data(), 2, MPI_DOUBLE, 1, 9, MPI_COMM_WORLD);
+    } else {
+      std::vector<double> v(5);  // larger capacity than the message
+      MPI_Status st;
+      MPI_Recv(v.data(), 5, MPI_DOUBLE, MPI_ANY_SOURCE, MPI_ANY_TAG,
+               MPI_COMM_WORLD, &st);
+      EXPECT_EQ(st.MPI_SOURCE, 0);
+      EXPECT_EQ(st.MPI_TAG, 9);
+      int count = -1;
+      MPI_Get_count(&st, MPI_DOUBLE, &count);
+      EXPECT_EQ(count, 2);
+      EXPECT_DOUBLE_EQ(v[0], 3.5);
+      EXPECT_DOUBLE_EQ(v[1], -1.25);
+    }
+  });
+}
+
+TEST(Facade, SendrecvRing) {
+  run(5, [] {
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    int out = rank * 11, in = -1;
+    MPI_Sendrecv(&out, 1, MPI_INT, (rank + 1) % size, 0, &in, 1, MPI_INT,
+                 (rank + size - 1) % size, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+    EXPECT_EQ(in, ((rank + size - 1) % size) * 11);
+  });
+}
+
+TEST(Facade, BcastUsesLibrarySelection) {
+  const RunStats stats = run(10, [] {
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    std::vector<char> buf(50000);
+    if (rank == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<char>(i);
+    }
+    MPI_Bcast(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, 0,
+              MPI_COMM_WORLD);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      ASSERT_EQ(buf[i], static_cast<char>(i));
+    }
+  });
+  // mmsg-npof2 at P=10 -> tuned ring: 9 scatter + 75 ring messages.
+  EXPECT_EQ(stats.msgs, 84u);
+}
+
+TEST(Facade, ReduceAndAllreduceTypedOps) {
+  run(6, [] {
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    const std::int64_t mine = rank + 1;
+    std::int64_t sum = 0;
+    MPI_Reduce(&mine, &sum, 1, MPI_INT64_T, MPI_SUM, 2, MPI_COMM_WORLD);
+    if (rank == 2) {
+      EXPECT_EQ(sum, 21);
+    }
+
+    double v[2] = {static_cast<double>(rank), static_cast<double>(-rank)};
+    double out[2];
+    MPI_Allreduce(v, out, 2, MPI_DOUBLE, MPI_MAX, MPI_COMM_WORLD);
+    EXPECT_DOUBLE_EQ(out[0], size - 1);
+    EXPECT_DOUBLE_EQ(out[1], 0.0);
+
+    int mn = rank + 100;
+    int mn_out;
+    MPI_Allreduce(&mn, &mn_out, 1, MPI_INT, MPI_MIN, MPI_COMM_WORLD);
+    EXPECT_EQ(mn_out, 100);
+  });
+}
+
+TEST(Facade, GatherCollectsInRankOrder) {
+  run(7, [] {
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    const int mine[2] = {rank, rank * rank};
+    std::vector<int> all(rank == 3 ? 2 * size : 0);
+    MPI_Gather(mine, 2, MPI_INT, all.data(), 2, MPI_INT, 3, MPI_COMM_WORLD);
+    if (rank == 3) {
+      for (int r = 0; r < size; ++r) {
+        EXPECT_EQ(all[2 * r], r);
+        EXPECT_EQ(all[2 * r + 1], r * r);
+      }
+    }
+  });
+}
+
+TEST(Facade, ScatterAllgatherAlltoall) {
+  run(6, [] {
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    // Scatter: root 1 deals out one int per rank.
+    std::vector<int> deck(rank == 1 ? size : 0);
+    for (int i = 0; i < static_cast<int>(deck.size()); ++i) deck[i] = 10 * i;
+    int card = -1;
+    MPI_Scatter(deck.data(), 1, MPI_INT, &card, 1, MPI_INT, 1, MPI_COMM_WORLD);
+    EXPECT_EQ(card, 10 * rank);
+
+    // Allgather: everyone shares its card.
+    std::vector<int> cards(size, -1);
+    MPI_Allgather(&card, 1, MPI_INT, cards.data(), 1, MPI_INT, MPI_COMM_WORLD);
+    for (int r = 0; r < size; ++r) EXPECT_EQ(cards[r], 10 * r);
+
+    // Alltoall: rank r sends r*100+d to rank d.
+    std::vector<int> out(size), in(size, -1);
+    for (int d = 0; d < size; ++d) out[d] = rank * 100 + d;
+    MPI_Alltoall(out.data(), 1, MPI_INT, in.data(), 1, MPI_INT, MPI_COMM_WORLD);
+    for (int s = 0; s < size; ++s) EXPECT_EQ(in[s], s * 100 + rank);
+  });
+}
+
+TEST(Facade, BarrierSynchronizes) {
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  run(8, [counter] {
+    counter->fetch_add(1);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(counter->load(), 8);
+  });
+}
+
+TEST(Facade, CommSplitAndFree) {
+  run(9, [] {
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm sub = MPI_COMM_NULL;
+    MPI_Comm_split(MPI_COMM_WORLD, rank % 3, -rank, &sub);
+    ASSERT_NE(sub, MPI_COMM_NULL);
+    int srank, ssize;
+    MPI_Comm_rank(sub, &srank);
+    MPI_Comm_size(sub, &ssize);
+    EXPECT_EQ(ssize, 3);
+    // Keys are descending in rank: subgroup rank 0 is the largest rank.
+    int probe = rank;
+    MPI_Bcast(&probe, 1, MPI_INT, 0, sub);
+    EXPECT_EQ(probe, 6 + rank % 3);
+    MPI_Comm_free(&sub);
+    EXPECT_EQ(sub, MPI_COMM_NULL);
+  });
+}
+
+TEST(Facade, SplitWithUndefinedColor) {
+  run(4, [] {
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm sub;
+    MPI_Comm_split(MPI_COMM_WORLD, rank == 0 ? MPI_UNDEFINED : 1, rank, &sub);
+    if (rank == 0) {
+      EXPECT_EQ(sub, MPI_COMM_NULL);
+      EXPECT_EQ(MPI_Comm_free(&sub), MPI_SUCCESS);  // freeing NULL is a no-op
+    } else {
+      int ssize;
+      MPI_Comm_size(sub, &ssize);
+      EXPECT_EQ(ssize, 3);
+      MPI_Comm_free(&sub);
+    }
+  });
+}
+
+TEST(Facade, UseAfterFreeIsDiagnosed) {
+  run(2, [] {
+    MPI_Comm sub;
+    MPI_Comm_split(MPI_COMM_WORLD, 0, 0, &sub);
+    const MPI_Comm stale = sub;
+    MPI_Comm_free(&sub);
+    int rank;
+    EXPECT_THROW(MPI_Comm_rank(stale, &rank), PreconditionError);
+  });
+}
+
+TEST(Facade, DatatypeSizes) {
+  EXPECT_EQ(datatype_size(MPI_BYTE), 1u);
+  EXPECT_EQ(datatype_size(MPI_CHAR), 1u);
+  EXPECT_EQ(datatype_size(MPI_INT), sizeof(int));
+  EXPECT_EQ(datatype_size(MPI_DOUBLE), sizeof(double));
+  EXPECT_EQ(datatype_size(MPI_INT64_T), 8u);
+  EXPECT_THROW(datatype_size(99), PreconditionError);
+}
+
+TEST(Facade, RunReportsTraffic) {
+  const RunStats stats = run(2, [] {
+    int rank;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    char b = 1;
+    if (rank == 0) {
+      MPI_Send(&b, 1, MPI_CHAR, 1, 0, MPI_COMM_WORLD);
+    } else {
+      MPI_Recv(&b, 1, MPI_CHAR, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  });
+  EXPECT_EQ(stats.msgs, 1u);
+  EXPECT_EQ(stats.bytes, 1u);
+}
+
+}  // namespace
+}  // namespace bsb::mpi
