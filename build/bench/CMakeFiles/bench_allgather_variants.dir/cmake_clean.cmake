@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allgather_variants.dir/bench_allgather_variants.cpp.o"
+  "CMakeFiles/bench_allgather_variants.dir/bench_allgather_variants.cpp.o.d"
+  "bench_allgather_variants"
+  "bench_allgather_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allgather_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_processing.dir/bench_host_processing.cpp.o"
+  "CMakeFiles/bench_host_processing.dir/bench_host_processing.cpp.o.d"
+  "bench_host_processing"
+  "bench_host_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smp_npof2.dir/bench_smp_npof2.cpp.o"
+  "CMakeFiles/bench_smp_npof2.dir/bench_smp_npof2.cpp.o.d"
+  "bench_smp_npof2"
+  "bench_smp_npof2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp_npof2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

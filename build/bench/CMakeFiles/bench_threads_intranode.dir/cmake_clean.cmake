@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threads_intranode.dir/bench_threads_intranode.cpp.o"
+  "CMakeFiles/bench_threads_intranode.dir/bench_threads_intranode.cpp.o.d"
+  "bench_threads_intranode"
+  "bench_threads_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threads_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_bench_table_transfers "/root/repo/build/bench/bench_table_transfers" "--quick")
+set_tests_properties(bench_smoke_bench_table_transfers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;22;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_fig6_bandwidth "/root/repo/build/bench/bench_fig6_bandwidth" "--quick")
+set_tests_properties(bench_smoke_bench_fig6_bandwidth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;23;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_fig7_speedup "/root/repo/build/bench/bench_fig7_speedup" "--quick")
+set_tests_properties(bench_smoke_bench_fig7_speedup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;24;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_fig8_sweep "/root/repo/build/bench/bench_fig8_sweep" "--quick")
+set_tests_properties(bench_smoke_bench_fig8_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;25;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_ablation_eager "/root/repo/build/bench/bench_ablation_eager" "--quick")
+set_tests_properties(bench_smoke_bench_ablation_eager PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;26;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_ablation_topology "/root/repo/build/bench/bench_ablation_topology" "--quick")
+set_tests_properties(bench_smoke_bench_ablation_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;27;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_ablation_algorithms "/root/repo/build/bench/bench_ablation_algorithms" "--quick")
+set_tests_properties(bench_smoke_bench_ablation_algorithms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;28;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_threads_intranode "/root/repo/build/bench/bench_threads_intranode" "--quick")
+set_tests_properties(bench_smoke_bench_threads_intranode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;29;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_smp_npof2 "/root/repo/build/bench/bench_smp_npof2" "--quick")
+set_tests_properties(bench_smoke_bench_smp_npof2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;30;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_laki_trend "/root/repo/build/bench/bench_laki_trend" "--quick")
+set_tests_properties(bench_smoke_bench_laki_trend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;31;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_allgather_variants "/root/repo/build/bench/bench_allgather_variants" "--quick")
+set_tests_properties(bench_smoke_bench_allgather_variants PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;32;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_host_processing "/root/repo/build/bench/bench_host_processing" "--quick")
+set_tests_properties(bench_smoke_bench_host_processing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;33;bsb_add_bench;/root/repo/bench/CMakeLists.txt;0;")

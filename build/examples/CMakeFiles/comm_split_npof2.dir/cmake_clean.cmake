@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_split_npof2.dir/comm_split_npof2.cpp.o"
+  "CMakeFiles/comm_split_npof2.dir/comm_split_npof2.cpp.o.d"
+  "comm_split_npof2"
+  "comm_split_npof2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_split_npof2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for comm_split_npof2.
+# This may be replaced when dependencies are built.

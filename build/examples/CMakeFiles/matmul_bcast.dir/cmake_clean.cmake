@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_bcast.dir/matmul_bcast.cpp.o"
+  "CMakeFiles/matmul_bcast.dir/matmul_bcast.cpp.o.d"
+  "matmul_bcast"
+  "matmul_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osu_style_bcast.dir/osu_style_bcast.cpp.o"
+  "CMakeFiles/osu_style_bcast.dir/osu_style_bcast.cpp.o.d"
+  "osu_style_bcast"
+  "osu_style_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osu_style_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

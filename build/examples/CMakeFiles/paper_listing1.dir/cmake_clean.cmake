@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_listing1.dir/paper_listing1.cpp.o"
+  "CMakeFiles/paper_listing1.dir/paper_listing1.cpp.o.d"
+  "paper_listing1"
+  "paper_listing1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_listing1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_reduce.dir/pi_reduce.cpp.o"
+  "CMakeFiles/pi_reduce.dir/pi_reduce.cpp.o.d"
+  "pi_reduce"
+  "pi_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

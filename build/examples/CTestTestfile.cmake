@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matmul_bcast "/root/repo/build/examples/matmul_bcast")
+set_tests_properties(example_matmul_bcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_comm_split_npof2 "/root/repo/build/examples/comm_split_npof2")
+set_tests_properties(example_comm_split_npof2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_explorer "/root/repo/build/examples/cluster_explorer")
+set_tests_properties(example_cluster_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pi_reduce "/root/repo/build/examples/pi_reduce")
+set_tests_properties(example_pi_reduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_osu_style_bcast "/root/repo/build/examples/osu_style_bcast")
+set_tests_properties(example_osu_style_bcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_paper_listing1 "/root/repo/build/examples/paper_listing1")
+set_tests_properties(example_paper_listing1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_halo_exchange "/root/repo/build/examples/halo_exchange")
+set_tests_properties(example_halo_exchange PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;bsb_add_example;/root/repo/examples/CMakeLists.txt;0;")

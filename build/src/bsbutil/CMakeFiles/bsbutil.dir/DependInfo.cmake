@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bsbutil/ascii_plot.cpp" "src/bsbutil/CMakeFiles/bsbutil.dir/ascii_plot.cpp.o" "gcc" "src/bsbutil/CMakeFiles/bsbutil.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/bsbutil/csv.cpp" "src/bsbutil/CMakeFiles/bsbutil.dir/csv.cpp.o" "gcc" "src/bsbutil/CMakeFiles/bsbutil.dir/csv.cpp.o.d"
+  "/root/repo/src/bsbutil/format.cpp" "src/bsbutil/CMakeFiles/bsbutil.dir/format.cpp.o" "gcc" "src/bsbutil/CMakeFiles/bsbutil.dir/format.cpp.o.d"
+  "/root/repo/src/bsbutil/intervals.cpp" "src/bsbutil/CMakeFiles/bsbutil.dir/intervals.cpp.o" "gcc" "src/bsbutil/CMakeFiles/bsbutil.dir/intervals.cpp.o.d"
+  "/root/repo/src/bsbutil/table.cpp" "src/bsbutil/CMakeFiles/bsbutil.dir/table.cpp.o" "gcc" "src/bsbutil/CMakeFiles/bsbutil.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

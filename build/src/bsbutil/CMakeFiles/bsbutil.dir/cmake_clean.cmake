@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsbutil.dir/ascii_plot.cpp.o"
+  "CMakeFiles/bsbutil.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/bsbutil.dir/csv.cpp.o"
+  "CMakeFiles/bsbutil.dir/csv.cpp.o.d"
+  "CMakeFiles/bsbutil.dir/format.cpp.o"
+  "CMakeFiles/bsbutil.dir/format.cpp.o.d"
+  "CMakeFiles/bsbutil.dir/intervals.cpp.o"
+  "CMakeFiles/bsbutil.dir/intervals.cpp.o.d"
+  "CMakeFiles/bsbutil.dir/table.cpp.o"
+  "CMakeFiles/bsbutil.dir/table.cpp.o.d"
+  "libbsbutil.a"
+  "libbsbutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsbutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

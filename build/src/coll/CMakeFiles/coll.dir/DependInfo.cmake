@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/allgather_bruck.cpp" "src/coll/CMakeFiles/coll.dir/allgather_bruck.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/allgather_bruck.cpp.o.d"
+  "/root/repo/src/coll/allgather_neighbor_exchange.cpp" "src/coll/CMakeFiles/coll.dir/allgather_neighbor_exchange.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/allgather_neighbor_exchange.cpp.o.d"
+  "/root/repo/src/coll/allgather_recursive_doubling.cpp" "src/coll/CMakeFiles/coll.dir/allgather_recursive_doubling.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/allgather_recursive_doubling.cpp.o.d"
+  "/root/repo/src/coll/allgather_ring_native.cpp" "src/coll/CMakeFiles/coll.dir/allgather_ring_native.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/allgather_ring_native.cpp.o.d"
+  "/root/repo/src/coll/alltoall.cpp" "src/coll/CMakeFiles/coll.dir/alltoall.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/alltoall.cpp.o.d"
+  "/root/repo/src/coll/bcast_binomial.cpp" "src/coll/CMakeFiles/coll.dir/bcast_binomial.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/bcast_binomial.cpp.o.d"
+  "/root/repo/src/coll/bcast_ring_pipelined.cpp" "src/coll/CMakeFiles/coll.dir/bcast_ring_pipelined.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/bcast_ring_pipelined.cpp.o.d"
+  "/root/repo/src/coll/bcast_scatter_rd.cpp" "src/coll/CMakeFiles/coll.dir/bcast_scatter_rd.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/bcast_scatter_rd.cpp.o.d"
+  "/root/repo/src/coll/bcast_scatter_ring_native.cpp" "src/coll/CMakeFiles/coll.dir/bcast_scatter_ring_native.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/bcast_scatter_ring_native.cpp.o.d"
+  "/root/repo/src/coll/bcast_smp.cpp" "src/coll/CMakeFiles/coll.dir/bcast_smp.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/bcast_smp.cpp.o.d"
+  "/root/repo/src/coll/comm_split.cpp" "src/coll/CMakeFiles/coll.dir/comm_split.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/comm_split.cpp.o.d"
+  "/root/repo/src/coll/gather_binomial.cpp" "src/coll/CMakeFiles/coll.dir/gather_binomial.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/gather_binomial.cpp.o.d"
+  "/root/repo/src/coll/scatter.cpp" "src/coll/CMakeFiles/coll.dir/scatter.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/scatter.cpp.o.d"
+  "/root/repo/src/coll/scatter_binomial.cpp" "src/coll/CMakeFiles/coll.dir/scatter_binomial.cpp.o" "gcc" "src/coll/CMakeFiles/coll.dir/scatter_binomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll.dir/allgather_bruck.cpp.o"
+  "CMakeFiles/coll.dir/allgather_bruck.cpp.o.d"
+  "CMakeFiles/coll.dir/allgather_neighbor_exchange.cpp.o"
+  "CMakeFiles/coll.dir/allgather_neighbor_exchange.cpp.o.d"
+  "CMakeFiles/coll.dir/allgather_recursive_doubling.cpp.o"
+  "CMakeFiles/coll.dir/allgather_recursive_doubling.cpp.o.d"
+  "CMakeFiles/coll.dir/allgather_ring_native.cpp.o"
+  "CMakeFiles/coll.dir/allgather_ring_native.cpp.o.d"
+  "CMakeFiles/coll.dir/alltoall.cpp.o"
+  "CMakeFiles/coll.dir/alltoall.cpp.o.d"
+  "CMakeFiles/coll.dir/bcast_binomial.cpp.o"
+  "CMakeFiles/coll.dir/bcast_binomial.cpp.o.d"
+  "CMakeFiles/coll.dir/bcast_ring_pipelined.cpp.o"
+  "CMakeFiles/coll.dir/bcast_ring_pipelined.cpp.o.d"
+  "CMakeFiles/coll.dir/bcast_scatter_rd.cpp.o"
+  "CMakeFiles/coll.dir/bcast_scatter_rd.cpp.o.d"
+  "CMakeFiles/coll.dir/bcast_scatter_ring_native.cpp.o"
+  "CMakeFiles/coll.dir/bcast_scatter_ring_native.cpp.o.d"
+  "CMakeFiles/coll.dir/bcast_smp.cpp.o"
+  "CMakeFiles/coll.dir/bcast_smp.cpp.o.d"
+  "CMakeFiles/coll.dir/comm_split.cpp.o"
+  "CMakeFiles/coll.dir/comm_split.cpp.o.d"
+  "CMakeFiles/coll.dir/gather_binomial.cpp.o"
+  "CMakeFiles/coll.dir/gather_binomial.cpp.o.d"
+  "CMakeFiles/coll.dir/scatter.cpp.o"
+  "CMakeFiles/coll.dir/scatter.cpp.o.d"
+  "CMakeFiles/coll.dir/scatter_binomial.cpp.o"
+  "CMakeFiles/coll.dir/scatter_binomial.cpp.o.d"
+  "libcoll.a"
+  "libcoll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

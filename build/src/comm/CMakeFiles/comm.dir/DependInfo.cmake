@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/chunks.cpp" "src/comm/CMakeFiles/comm.dir/chunks.cpp.o" "gcc" "src/comm/CMakeFiles/comm.dir/chunks.cpp.o.d"
+  "/root/repo/src/comm/subcomm.cpp" "src/comm/CMakeFiles/comm.dir/subcomm.cpp.o" "gcc" "src/comm/CMakeFiles/comm.dir/subcomm.cpp.o.d"
+  "/root/repo/src/comm/topology.cpp" "src/comm/CMakeFiles/comm.dir/topology.cpp.o" "gcc" "src/comm/CMakeFiles/comm.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

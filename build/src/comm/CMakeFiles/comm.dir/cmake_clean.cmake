@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm.dir/chunks.cpp.o"
+  "CMakeFiles/comm.dir/chunks.cpp.o.d"
+  "CMakeFiles/comm.dir/subcomm.cpp.o"
+  "CMakeFiles/comm.dir/subcomm.cpp.o.d"
+  "CMakeFiles/comm.dir/topology.cpp.o"
+  "CMakeFiles/comm.dir/topology.cpp.o.d"
+  "libcomm.a"
+  "libcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

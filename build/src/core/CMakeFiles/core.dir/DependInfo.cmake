@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allgather_ring_tuned.cpp" "src/core/CMakeFiles/core.dir/allgather_ring_tuned.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/allgather_ring_tuned.cpp.o.d"
+  "/root/repo/src/core/bcast.cpp" "src/core/CMakeFiles/core.dir/bcast.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/bcast.cpp.o.d"
+  "/root/repo/src/core/bcast_scatter_ring_tuned.cpp" "src/core/CMakeFiles/core.dir/bcast_scatter_ring_tuned.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/bcast_scatter_ring_tuned.cpp.o.d"
+  "/root/repo/src/core/persistent_bcast.cpp" "src/core/CMakeFiles/core.dir/persistent_bcast.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/persistent_bcast.cpp.o.d"
+  "/root/repo/src/core/ring_plan.cpp" "src/core/CMakeFiles/core.dir/ring_plan.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/ring_plan.cpp.o.d"
+  "/root/repo/src/core/transfer_analysis.cpp" "src/core/CMakeFiles/core.dir/transfer_analysis.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/transfer_analysis.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/allgather_ring_tuned.cpp.o"
+  "CMakeFiles/core.dir/allgather_ring_tuned.cpp.o.d"
+  "CMakeFiles/core.dir/bcast.cpp.o"
+  "CMakeFiles/core.dir/bcast.cpp.o.d"
+  "CMakeFiles/core.dir/bcast_scatter_ring_tuned.cpp.o"
+  "CMakeFiles/core.dir/bcast_scatter_ring_tuned.cpp.o.d"
+  "CMakeFiles/core.dir/persistent_bcast.cpp.o"
+  "CMakeFiles/core.dir/persistent_bcast.cpp.o.d"
+  "CMakeFiles/core.dir/ring_plan.cpp.o"
+  "CMakeFiles/core.dir/ring_plan.cpp.o.d"
+  "CMakeFiles/core.dir/transfer_analysis.cpp.o"
+  "CMakeFiles/core.dir/transfer_analysis.cpp.o.d"
+  "CMakeFiles/core.dir/tuning.cpp.o"
+  "CMakeFiles/core.dir/tuning.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_facade.dir/mpi.cpp.o"
+  "CMakeFiles/mpi_facade.dir/mpi.cpp.o.d"
+  "libmpi_facade.a"
+  "libmpi_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

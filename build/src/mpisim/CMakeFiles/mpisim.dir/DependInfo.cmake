@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/thread_comm.cpp" "src/mpisim/CMakeFiles/mpisim.dir/thread_comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/thread_comm.cpp.o.d"
+  "/root/repo/src/mpisim/world.cpp" "src/mpisim/CMakeFiles/mpisim.dir/world.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

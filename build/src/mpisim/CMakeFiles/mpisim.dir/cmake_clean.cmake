@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim.dir/thread_comm.cpp.o"
+  "CMakeFiles/mpisim.dir/thread_comm.cpp.o.d"
+  "CMakeFiles/mpisim.dir/world.cpp.o"
+  "CMakeFiles/mpisim.dir/world.cpp.o.d"
+  "libmpisim.a"
+  "libmpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/costmodel.cpp" "src/netsim/CMakeFiles/netsim.dir/costmodel.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/costmodel.cpp.o.d"
+  "/root/repo/src/netsim/fluid.cpp" "src/netsim/CMakeFiles/netsim.dir/fluid.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/fluid.cpp.o.d"
+  "/root/repo/src/netsim/replay.cpp" "src/netsim/CMakeFiles/netsim.dir/replay.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/replay.cpp.o.d"
+  "/root/repo/src/netsim/sim.cpp" "src/netsim/CMakeFiles/netsim.dir/sim.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/sim.cpp.o.d"
+  "/root/repo/src/netsim/timeline.cpp" "src/netsim/CMakeFiles/netsim.dir/timeline.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

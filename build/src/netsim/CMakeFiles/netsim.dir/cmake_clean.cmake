@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim.dir/costmodel.cpp.o"
+  "CMakeFiles/netsim.dir/costmodel.cpp.o.d"
+  "CMakeFiles/netsim.dir/fluid.cpp.o"
+  "CMakeFiles/netsim.dir/fluid.cpp.o.d"
+  "CMakeFiles/netsim.dir/replay.cpp.o"
+  "CMakeFiles/netsim.dir/replay.cpp.o.d"
+  "CMakeFiles/netsim.dir/sim.cpp.o"
+  "CMakeFiles/netsim.dir/sim.cpp.o.d"
+  "CMakeFiles/netsim.dir/timeline.cpp.o"
+  "CMakeFiles/netsim.dir/timeline.cpp.o.d"
+  "libnetsim.a"
+  "libnetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

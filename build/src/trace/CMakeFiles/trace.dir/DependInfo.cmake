@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/counters.cpp" "src/trace/CMakeFiles/trace.dir/counters.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/counters.cpp.o.d"
+  "/root/repo/src/trace/coverage.cpp" "src/trace/CMakeFiles/trace.dir/coverage.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/coverage.cpp.o.d"
+  "/root/repo/src/trace/event_table.cpp" "src/trace/CMakeFiles/trace.dir/event_table.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/event_table.cpp.o.d"
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/match.cpp" "src/trace/CMakeFiles/trace.dir/match.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/match.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/schedule.cpp" "src/trace/CMakeFiles/trace.dir/schedule.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

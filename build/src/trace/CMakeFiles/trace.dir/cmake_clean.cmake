@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace.dir/counters.cpp.o"
+  "CMakeFiles/trace.dir/counters.cpp.o.d"
+  "CMakeFiles/trace.dir/coverage.cpp.o"
+  "CMakeFiles/trace.dir/coverage.cpp.o.d"
+  "CMakeFiles/trace.dir/event_table.cpp.o"
+  "CMakeFiles/trace.dir/event_table.cpp.o.d"
+  "CMakeFiles/trace.dir/export.cpp.o"
+  "CMakeFiles/trace.dir/export.cpp.o.d"
+  "CMakeFiles/trace.dir/match.cpp.o"
+  "CMakeFiles/trace.dir/match.cpp.o.d"
+  "CMakeFiles/trace.dir/record.cpp.o"
+  "CMakeFiles/trace.dir/record.cpp.o.d"
+  "CMakeFiles/trace.dir/schedule.cpp.o"
+  "CMakeFiles/trace.dir/schedule.cpp.o.d"
+  "libtrace.a"
+  "libtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bsbutil.cpp" "tests/CMakeFiles/test_bsbutil.dir/test_bsbutil.cpp.o" "gcc" "tests/CMakeFiles/test_bsbutil.dir/test_bsbutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mpi_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsbutil/CMakeFiles/bsbutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsbutil.dir/test_bsbutil.cpp.o"
+  "CMakeFiles/test_bsbutil.dir/test_bsbutil.cpp.o.d"
+  "test_bsbutil"
+  "test_bsbutil.pdb"
+  "test_bsbutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsbutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

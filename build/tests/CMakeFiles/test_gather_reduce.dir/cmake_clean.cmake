@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gather_reduce.dir/test_gather_reduce.cpp.o"
+  "CMakeFiles/test_gather_reduce.dir/test_gather_reduce.cpp.o.d"
+  "test_gather_reduce"
+  "test_gather_reduce.pdb"
+  "test_gather_reduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gather_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_facade.dir/test_mpi_facade.cpp.o"
+  "CMakeFiles/test_mpi_facade.dir/test_mpi_facade.cpp.o.d"
+  "test_mpi_facade"
+  "test_mpi_facade.pdb"
+  "test_mpi_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
