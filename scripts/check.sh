@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Sanitized gate: build everything with -fsanitize=address,undefined (the
+# `asan` CMake preset), run the tier-1 test suite, then a 30-second bounded
+# differential fuzz pass (docs/FUZZING.md). Any sanitizer report, test
+# failure, or fuzz discrepancy fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset asan
+cmake --build --preset asan -j "${JOBS}"
+
+# halt_on_error makes a UBSan hit fail the process, not just print.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=0"  # threads park in mailboxes at exit
+
+ctest --preset asan -j "${JOBS}"
+
+echo "==== bounded fuzz pass (30s, sanitized) ===="
+build-asan/tools/bsb-fuzz --time-budget=30 --cases=1000000
+build-asan/tools/bsb-fuzz --selftest
+
+echo "check.sh: all green"

@@ -8,6 +8,11 @@ namespace bsb::core {
 
 void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
                           const ChunkLayout& layout) {
+  allgather_ring_tuned(comm, buffer, root, layout, compute_ring_plan);
+}
+
+void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                          const ChunkLayout& layout, const RingPlanFn& plan_fn) {
   const int P = comm.size();
   const int me = comm.rank();
   BSB_REQUIRE(layout.nchunks() == P, "allgather_ring_tuned: layout chunk count != P");
@@ -19,7 +24,7 @@ void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
   int j = me;
   int jnext = left;
 
-  const RingPlan plan = compute_ring_plan(rel_rank(me, root, P), P);
+  const RingPlan plan = plan_fn(rel_rank(me, root, P), P);
 
   for (int i = 1; i < P; ++i) {
     const int rel_j = rel_rank(j, root, P);

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 
 #include "comm/chunks.hpp"
 #include "comm/comm.hpp"
+#include "core/ring_plan.hpp"
 
 namespace bsb::core {
 
@@ -20,5 +22,17 @@ namespace bsb::core {
 /// On return every rank holds all layout.nbytes() bytes.
 void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
                           const ChunkLayout& layout);
+
+/// Maps a relative rank to the RingPlan it runs. The production path uses
+/// compute_ring_plan; the fuzz harness's self-test mode substitutes a
+/// deliberately corrupted plan to prove the detectors catch schedule bugs.
+using RingPlanFn = std::function<RingPlan(int relative_rank, int comm_size)>;
+
+/// As above, but with the per-rank plan supplied by `plan_fn`. The schedule
+/// is only correct (and only deadlock-free) when the plans obey the
+/// skipped-send/skipped-receive pairing invariant that compute_ring_plan
+/// guarantees.
+void allgather_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                          const ChunkLayout& layout, const RingPlanFn& plan_fn);
 
 }  // namespace bsb::core

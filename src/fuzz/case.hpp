@@ -1,0 +1,91 @@
+// Fuzz-case model: one randomly sampled configuration of a broadcast or
+// allgather run — variant, process count, message size, root, runtime
+// thresholds and an optional fault-injection plan — derived purely from
+// (master seed, case index) so every case replays bit-identically from its
+// one-line reproducer (`bsb-fuzz --seed=S --case=K`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "mpisim/world.hpp"
+
+namespace bsb::fuzz {
+
+/// Every broadcast/allgather implementation in src/coll and src/core.
+enum class Variant : std::uint8_t {
+  BcastBinomial,
+  BcastScatterRd,          // requires power-of-two ranks
+  BcastScatterRingNative,
+  BcastScatterRingTuned,   // the paper's MPI_Bcast_opt
+  BcastRingPipelined,
+  BcastSmp,
+  BcastAuto,               // core::bcast dispatcher with sampled thresholds
+  BcastPersistent,         // core::PersistentBcast plan + execute
+  AllgatherRingNative,
+  AllgatherRingTuned,
+  AllgatherRecursiveDoubling,  // requires power-of-two ranks
+  AllgatherBruck,
+  AllgatherNeighborExchange,   // requires an even rank count
+};
+
+inline constexpr int kNumVariants = 13;
+
+const char* to_string(Variant v) noexcept;
+std::optional<Variant> variant_from_string(const std::string& name);
+
+/// All variants, in enum order (for round-robin assignment and CLI help).
+std::span<const Variant> all_variants() noexcept;
+
+/// Smallest adjustment of `nranks` (downwards) that satisfies the
+/// variant's structural requirement (power-of-two / even / >= 2).
+int fit_ranks(Variant v, int nranks) noexcept;
+
+/// One fully specified run. `seed`/`index` identify the generator draw the
+/// case came from; after shrinking they are kept so the report can still
+/// name the originating draw while the fields describe the shrunk config.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+  Variant variant = Variant::BcastScatterRingTuned;
+  int nranks = 2;
+  int root = 0;
+  std::uint64_t nbytes = 0;         // collective buffer bytes (total)
+  std::uint64_t segment_bytes = 0;  // BcastRingPipelined only
+  int smp_cores_per_node = 0;       // BcastSmp only
+  // Sampled selector thresholds (BcastAuto / BcastPersistent).
+  std::uint64_t smsg_limit = 12288;
+  std::uint64_t mmsg_limit = 524288;
+  bool use_tuned_ring = true;
+  // Runtime knobs.
+  std::size_t eager_threshold = 65536;
+  double watchdog_seconds = 20.0;
+  mpisim::FaultConfig faults;  // enabled => hostile interleavings
+};
+
+/// Bounds and feature toggles for the generator.
+struct GeneratorOptions {
+  int min_ranks = 2;
+  int max_ranks = 64;
+  std::uint64_t max_bytes = 640 * 1024;
+  bool faults = true;           // sample fault plans for ~40% of cases
+  double watchdog_seconds = 20.0;
+};
+
+/// Deterministically sample case `index` of run `seed`.
+FuzzCase sample_case(std::uint64_t seed, std::uint64_t index,
+                     const GeneratorOptions& opt);
+
+/// Human-readable one-line summary of the configuration.
+std::string describe(const FuzzCase& c);
+
+/// The exact replay command for the generator draw that produced `c`.
+std::string reproducer(const FuzzCase& c);
+
+/// Replay command with every field spelled out (survives shrinking, which
+/// leaves (seed, index) pointing at the original draw).
+std::string explicit_reproducer(const FuzzCase& c);
+
+}  // namespace bsb::fuzz

@@ -1,0 +1,116 @@
+#include "fuzz/harness.hpp"
+
+#include <chrono>
+#include <ostream>
+
+namespace bsb::fuzz {
+
+namespace {
+
+/// Force a sampled case onto a variant the sabotage can perturb (the
+/// self-test must exercise the tuned ring, not whatever the draw picked).
+FuzzCase force_tuned_variant(FuzzCase c) {
+  c.variant = c.index % 2 == 0 ? Variant::BcastScatterRingTuned
+                               : Variant::AllgatherRingTuned;
+  c.nranks = fit_ranks(c.variant, c.nranks);
+  c.root = c.root % c.nranks;
+  if (c.variant == Variant::AllgatherRingTuned) {
+    std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(c.nranks);
+    if (block == 0) block = 1;
+    c.nbytes = block * static_cast<std::uint64_t>(c.nranks);
+  }
+  return c;
+}
+
+}  // namespace
+
+HarnessReport run_fuzz(const HarnessOptions& opt, std::ostream& out) {
+  HarnessReport rep;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  for (std::uint64_t i = 0; i < opt.cases; ++i) {
+    if (opt.time_budget_seconds > 0 && elapsed() > opt.time_budget_seconds) {
+      out << "time budget (" << opt.time_budget_seconds << "s) exhausted after "
+          << rep.cases_run << " cases\n";
+      break;
+    }
+    FuzzCase c = sample_case(opt.seed, opt.first_case + i, opt.gen);
+    if (opt.sabotage != Sabotage::None && !sabotage_applies(c, opt.sabotage)) {
+      c = force_tuned_variant(c);
+    }
+    if (opt.verbose) {
+      out << "case " << c.index << ": " << describe(c) << "\n";
+    }
+    const RunOutcome o = run_case(c, opt.sabotage);
+    ++rep.cases_run;
+    ++rep.per_variant[static_cast<std::size_t>(c.variant)];
+    rep.messages += o.messages;
+    if (o.ok) continue;
+
+    ++rep.failures;
+    out << "FAIL case " << c.index << " (seed " << opt.seed << "): " << o.detail
+        << "\n  reproduce: " << reproducer(c) << "\n";
+    std::string shrunk_line = explicit_reproducer(c);
+    std::string shrunk_detail = o.detail;
+    if (opt.shrink) {
+      const ShrinkResult s = shrink_case(c, opt.sabotage);
+      shrunk_line = explicit_reproducer(s.minimal);
+      shrunk_detail = s.minimal_detail;
+      out << "  shrunk (" << s.reruns << " reruns): " << describe(s.minimal)
+          << "\n  shrunk reproduce: " << shrunk_line << "\n";
+    }
+    if (rep.first_reproducer.empty()) {
+      rep.first_reproducer = reproducer(c);
+      rep.first_shrunk = shrunk_line;
+      rep.first_detail = shrunk_detail;
+    }
+    if (rep.failures >= opt.max_failures) break;
+  }
+
+  rep.elapsed_seconds = elapsed();
+  out << "fuzz: " << rep.cases_run << " cases, " << rep.messages
+      << " messages, " << rep.failures << " failure(s) in " << rep.elapsed_seconds
+      << "s";
+  if (rep.elapsed_seconds > 0) {
+    out << " (" << static_cast<std::uint64_t>(rep.cases_run /
+                                              rep.elapsed_seconds)
+        << " cases/s)";
+  }
+  out << "\n";
+  if (opt.verbose || rep.cases_run > 0) {
+    out << "variant coverage:";
+    for (const Variant v : all_variants()) {
+      out << " " << to_string(v) << "="
+          << rep.per_variant[static_cast<std::size_t>(v)];
+    }
+    out << "\n";
+  }
+  return rep;
+}
+
+bool run_selftest(HarnessOptions opt, std::ostream& out) {
+  opt.sabotage = Sabotage::RingPlanStepOffByOne;
+  opt.shrink = true;
+  opt.max_failures = 1;
+  // A short watchdog keeps any sabotage-induced deadlock path quick; the
+  // symbolic detectors normally fire long before threads are involved.
+  opt.gen.watchdog_seconds = 2.0;
+  out << "self-test: corrupting RingPlan.step by +1; the harness MUST catch it\n";
+  const HarnessReport rep = run_fuzz(opt, out);
+  if (rep.failures == 0) {
+    out << "self-test FAILED: sabotaged schedule was not detected\n";
+    return false;
+  }
+  if (rep.first_shrunk.empty() || rep.first_detail.empty()) {
+    out << "self-test FAILED: no shrunk reproducer produced\n";
+    return false;
+  }
+  out << "self-test OK: sabotage detected (" << rep.first_detail << ")\n";
+  return true;
+}
+
+}  // namespace bsb::fuzz

@@ -1,0 +1,51 @@
+// Top-level fuzz loop: sample cases from (seed, index), run each through
+// the differential runner, and on failure shrink to a minimal reproducer.
+// Drives both the `bsb-fuzz` CLI and the bounded tier-1 CTest target.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/case.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace bsb::fuzz {
+
+struct HarnessOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t first_case = 0;  // replay a single case: first_case=K, cases=1
+  std::uint64_t cases = 1000;
+  /// Stop early once this much wall time is spent (0 = unbounded).
+  double time_budget_seconds = 0.0;
+  GeneratorOptions gen;
+  /// Self-test: corrupt the tuned-ring plan and PROVE the detectors fire.
+  Sabotage sabotage = Sabotage::None;
+  bool shrink = true;
+  std::uint64_t max_failures = 1;  // stop after this many failures
+  bool verbose = false;
+};
+
+struct HarnessReport {
+  std::uint64_t cases_run = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t messages = 0;  // total messages moved by threaded runs
+  double elapsed_seconds = 0.0;
+  std::array<std::uint64_t, kNumVariants> per_variant{};
+  /// First failure, when any: the generator-draw reproducer and the shrunk
+  /// explicit config.
+  std::string first_reproducer;
+  std::string first_shrunk;
+  std::string first_detail;
+};
+
+/// Run the loop, streaming progress and failure reports to `out`.
+HarnessReport run_fuzz(const HarnessOptions& opt, std::ostream& out);
+
+/// Run `opt` as a self-test: returns true iff the sabotaged run was
+/// detected as failing AND shrinking produced a still-failing reproducer.
+bool run_selftest(HarnessOptions opt, std::ostream& out);
+
+}  // namespace bsb::fuzz

@@ -1,0 +1,356 @@
+#include "fuzz/runner.hpp"
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/rng.hpp"
+#include "coll/allgather_bruck.hpp"
+#include "coll/allgather_neighbor_exchange.hpp"
+#include "coll/allgather_recursive_doubling.hpp"
+#include "coll/allgather_ring_native.hpp"
+#include "coll/bcast_binomial.hpp"
+#include "coll/bcast_ring_pipelined.hpp"
+#include "coll/bcast_scatter_rd.hpp"
+#include "coll/bcast_scatter_ring_native.hpp"
+#include "coll/bcast_smp.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "comm/chunks.hpp"
+#include "comm/topology.hpp"
+#include "core/allgather_ring_tuned.hpp"
+#include "core/bcast.hpp"
+#include "core/bcast_scatter_ring_tuned.hpp"
+#include "core/persistent_bcast.hpp"
+#include "core/ring_plan.hpp"
+#include "core/transfer_analysis.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+#include "trace/counters.hpp"
+#include "trace/match.hpp"
+#include "trace/record.hpp"
+
+namespace bsb::fuzz {
+
+namespace {
+
+using RankBody = std::function<void(Comm&, std::span<std::byte>)>;
+
+core::RingPlanFn plan_fn_for(Sabotage sabotage) {
+  if (sabotage == Sabotage::RingPlanStepOffByOne) {
+    return [](int rel, int P) {
+      core::RingPlan plan = core::compute_ring_plan(rel, P);
+      plan.step += 1;  // the bug class the pairing invariant forbids
+      return plan;
+    };
+  }
+  return core::compute_ring_plan;
+}
+
+core::BcastConfig selector_config(const FuzzCase& c) {
+  core::BcastConfig cfg;
+  cfg.smsg_limit = c.smsg_limit;
+  cfg.mmsg_limit = c.mmsg_limit;
+  cfg.use_tuned_ring = c.use_tuned_ring;
+  return cfg;
+}
+
+/// The per-rank program for the case's variant; identical code drives both
+/// the symbolic recording and the threaded execution.
+RankBody make_body(const FuzzCase& c, Sabotage sabotage) {
+  const int root = c.root;
+  switch (c.variant) {
+    case Variant::BcastBinomial:
+      return [root](Comm& comm, std::span<std::byte> buf) {
+        coll::bcast_binomial(comm, buf, root);
+      };
+    case Variant::BcastScatterRd:
+      return [root](Comm& comm, std::span<std::byte> buf) {
+        coll::bcast_scatter_rd(comm, buf, root);
+      };
+    case Variant::BcastScatterRingNative:
+      return [root](Comm& comm, std::span<std::byte> buf) {
+        coll::bcast_scatter_ring_native(comm, buf, root);
+      };
+    case Variant::BcastScatterRingTuned:
+      return [root, sabotage](Comm& comm, std::span<std::byte> buf) {
+        const ChunkLayout layout(buf.size(), comm.size());
+        coll::scatter_binomial(comm, buf, root, layout);
+        core::allgather_ring_tuned(comm, buf, root, layout, plan_fn_for(sabotage));
+      };
+    case Variant::BcastRingPipelined:
+      return [root, seg = c.segment_bytes](Comm& comm, std::span<std::byte> buf) {
+        coll::bcast_ring_pipelined(comm, buf, root, seg);
+      };
+    case Variant::BcastSmp:
+      return [root, cores = c.smp_cores_per_node](Comm& comm,
+                                                  std::span<std::byte> buf) {
+        const Topology topo(comm.size(), cores, Placement::Block);
+        coll::bcast_smp(comm, buf, root, topo,
+                        [](Comm& leaders, std::span<std::byte> b, int r) {
+                          core::bcast_scatter_ring_tuned(leaders, b, r);
+                        });
+      };
+    case Variant::BcastAuto:
+      return [root, cfg = selector_config(c)](Comm& comm,
+                                              std::span<std::byte> buf) {
+        core::bcast(comm, buf, root, cfg);
+      };
+    case Variant::BcastPersistent:
+      return [root, cfg = selector_config(c)](Comm& comm,
+                                              std::span<std::byte> buf) {
+        const core::PersistentBcast plan(comm, buf.size(), root, cfg);
+        plan.execute(buf);
+      };
+    case Variant::AllgatherRingNative:
+      return [root](Comm& comm, std::span<std::byte> buf) {
+        const ChunkLayout layout(buf.size(), comm.size());
+        coll::allgather_ring_native(comm, buf, root, layout);
+      };
+    case Variant::AllgatherRingTuned:
+      return [root, sabotage](Comm& comm, std::span<std::byte> buf) {
+        const ChunkLayout layout(buf.size(), comm.size());
+        core::allgather_ring_tuned(comm, buf, root, layout, plan_fn_for(sabotage));
+      };
+    case Variant::AllgatherRecursiveDoubling:
+      return [root](Comm& comm, std::span<std::byte> buf) {
+        const ChunkLayout layout(buf.size(), comm.size());
+        coll::allgather_recursive_doubling(comm, buf, root, layout);
+      };
+    case Variant::AllgatherBruck:
+      return [](Comm& comm, std::span<std::byte> buf) {
+        coll::allgather_bruck(comm, buf, buf.size() / comm.size());
+      };
+    case Variant::AllgatherNeighborExchange:
+      return [](Comm& comm, std::span<std::byte> buf) {
+        coll::allgather_neighbor_exchange(comm, buf,
+                                          buf.size() / comm.size());
+      };
+  }
+  BSB_ASSERT(false, "make_body: unknown variant");
+}
+
+/// Pattern seed for the case's oracle; initial garbage uses its complement
+/// so untouched bytes are always detected.
+std::uint64_t oracle_seed(const FuzzCase& c) noexcept {
+  return c.seed * 0x9e3779b97f4a7c15ULL + c.index * 0x100000001b3ULL + 1;
+}
+
+/// Pre-collective buffer contents for `rank`: the bytes the variant's
+/// contract says the rank contributes (at their home offsets), garbage
+/// everywhere else.
+void fill_initial(const FuzzCase& c, int rank, std::span<std::byte> buf) {
+  const std::uint64_t ps = oracle_seed(c);
+  fill_pattern(buf, ~ps);  // garbage
+  switch (c.variant) {
+    case Variant::BcastBinomial:
+    case Variant::BcastScatterRd:
+    case Variant::BcastScatterRingNative:
+    case Variant::BcastScatterRingTuned:
+    case Variant::BcastRingPipelined:
+    case Variant::BcastSmp:
+    case Variant::BcastAuto:
+    case Variant::BcastPersistent:
+      if (rank == c.root) fill_pattern(buf, ps);
+      return;
+    case Variant::AllgatherRingNative: {
+      // The native ring assumes only the rank's own chunk.
+      const ChunkLayout layout(buf.size(), c.nranks);
+      const int rel = rel_rank(rank, c.root, c.nranks);
+      fill_pattern(layout.chunk(buf, rel), ps, layout.disp(rel));
+      return;
+    }
+    case Variant::AllgatherRingTuned:
+    case Variant::AllgatherRecursiveDoubling: {
+      // These run over scatter_binomial output: the rank owns its whole
+      // binomial-subtree chunk block (the tuned ring exploits exactly
+      // that, so seeding only the own chunk would be a contract breach).
+      const ChunkLayout layout(buf.size(), c.nranks);
+      const int rel = rel_rank(rank, c.root, c.nranks);
+      const std::uint64_t off = layout.disp(rel);
+      const std::uint64_t len = coll::scatter_block_bytes(rel, layout);
+      fill_pattern(buf.subspan(off, len), ps, off);
+      return;
+    }
+    case Variant::AllgatherBruck:
+    case Variant::AllgatherNeighborExchange: {
+      const std::uint64_t block =
+          buf.size() / static_cast<std::uint64_t>(c.nranks);
+      const std::uint64_t off = static_cast<std::uint64_t>(rank) * block;
+      fill_pattern(buf.subspan(off, block), ps, off);
+      return;
+    }
+  }
+}
+
+std::string check_counts(const char* what, std::uint64_t got,
+                         std::uint64_t want) {
+  if (got == want) return {};
+  return std::string(what) + ": got " + std::to_string(got) + ", closed form " +
+         std::to_string(want) + "; ";
+}
+
+/// Record the schedule, match it, and compare its per-rank / total transfer
+/// counts against the closed forms. Returns the first discrepancy (empty =
+/// clean) and the schedule's total send count via `total_sends`.
+std::string symbolic_check(const FuzzCase& c, const RankBody& body,
+                           std::uint64_t* total_sends) {
+  trace::Schedule sched;
+  try {
+    sched = trace::record_schedule(c.nranks, c.nbytes, body);
+  } catch (const Error& e) {
+    return std::string("recording failed: ") + e.what();
+  }
+  *total_sends = sched.total_sends();
+  try {
+    (void)trace::match_schedule(sched);
+  } catch (const Error& e) {
+    return std::string("schedule does not match up: ") + e.what();
+  }
+
+  const int P = c.nranks;
+  std::string err;
+  const auto per_rank = trace::per_rank_op_counts(sched);
+  switch (c.variant) {
+    case Variant::BcastBinomial:
+      err += check_counts("binomial total msgs", sched.total_sends(),
+                          static_cast<std::uint64_t>(P - 1));
+      break;
+    case Variant::BcastScatterRingNative:
+      err += check_counts(
+          "scatter+native-ring total msgs", sched.total_sends(),
+          core::scatter_transfers(P, c.nbytes) + core::native_ring_transfers(P));
+      break;
+    case Variant::BcastScatterRingTuned:
+      err += check_counts(
+          "scatter+tuned-ring total msgs", sched.total_sends(),
+          core::scatter_transfers(P, c.nbytes) + core::tuned_ring_transfers(P));
+      break;
+    case Variant::AllgatherRingNative:
+      err += check_counts("native-ring total msgs", sched.total_sends(),
+                          core::native_ring_transfers(P));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        err += check_counts("native-ring per-rank sends", per_rank[r].sends,
+                            static_cast<std::uint64_t>(P - 1));
+        err += check_counts("native-ring per-rank recvs", per_rank[r].recvs,
+                            static_cast<std::uint64_t>(P - 1));
+      }
+      break;
+    case Variant::AllgatherRingTuned:
+      err += check_counts("tuned-ring total msgs", sched.total_sends(),
+                          core::tuned_ring_transfers(P));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        const core::RingPlan plan =
+            core::compute_ring_plan(rel_rank(r, c.root, P), P);
+        err += check_counts(
+            "tuned-ring per-rank sends", per_rank[r].sends,
+            static_cast<std::uint64_t>(core::tuned_sends(plan, P)));
+        err += check_counts(
+            "tuned-ring per-rank recvs", per_rank[r].recvs,
+            static_cast<std::uint64_t>(core::tuned_recvs(plan, P)));
+      }
+      break;
+    case Variant::BcastAuto:
+    case Variant::BcastPersistent: {
+      const core::BcastAlgorithm algo =
+          core::choose_bcast_algorithm(c.nbytes, P, selector_config(c));
+      if (algo == core::BcastAlgorithm::Binomial) {
+        err += check_counts("auto(binomial) total msgs", sched.total_sends(),
+                            static_cast<std::uint64_t>(P - 1));
+      } else if (algo == core::BcastAlgorithm::ScatterRingNative) {
+        err += check_counts("auto(native-ring) total msgs", sched.total_sends(),
+                            core::scatter_transfers(P, c.nbytes) +
+                                core::native_ring_transfers(P));
+      } else if (algo == core::BcastAlgorithm::ScatterRingTuned) {
+        err += check_counts("auto(tuned-ring) total msgs", sched.total_sends(),
+                            core::scatter_transfers(P, c.nbytes) +
+                                core::tuned_ring_transfers(P));
+      }
+      break;
+    }
+    default:
+      break;  // no closed form for this variant; matching was the check
+  }
+  if (!err.empty()) err += "[" + describe(c) + "]";
+  return err;
+}
+
+}  // namespace
+
+bool sabotage_applies(const FuzzCase& c, Sabotage sabotage) noexcept {
+  return sabotage != Sabotage::None &&
+         (c.variant == Variant::BcastScatterRingTuned ||
+          c.variant == Variant::AllgatherRingTuned);
+}
+
+RunOutcome run_case(const FuzzCase& c, Sabotage sabotage) {
+  RunOutcome out;
+  const RankBody body = make_body(c, sabotage);
+
+  // Phase 1: symbolic. Catches miscounted/unpairable schedules without
+  // spending watchdog time, which keeps the self-test and shrinking fast.
+  // Skipped for empty buffers (nothing to record offsets against).
+  std::uint64_t expected_msgs = 0;
+  bool have_expected = false;
+  if (c.nbytes > 0) {
+    const std::string err = symbolic_check(c, body, &expected_msgs);
+    have_expected = true;
+    if (!err.empty()) {
+      out.ok = false;
+      out.detail = err;
+      return out;
+    }
+  }
+
+  // Phase 2: threaded execution with fault injection + byte oracle.
+  mpisim::WorldConfig wc;
+  wc.eager_threshold = c.eager_threshold;
+  wc.watchdog_seconds = c.watchdog_seconds;
+  wc.faults = c.faults;
+  mpisim::World world(c.nranks, wc);
+
+  const std::uint64_t ps = oracle_seed(c);
+  std::mutex fail_mu;
+  std::string first_fail;
+  try {
+    world.run([&](mpisim::ThreadComm& comm) {
+      std::vector<std::byte> buf(c.nbytes);
+      fill_initial(c, comm.rank(), buf);
+      body(comm, buf);
+      const std::size_t bad = first_pattern_mismatch(buf, ps);
+      if (bad != buf.size()) {
+        const std::lock_guard<std::mutex> lk(fail_mu);
+        if (first_fail.empty()) {
+          first_fail = "oracle mismatch at rank " +
+                       std::to_string(comm.rank()) + " byte " +
+                       std::to_string(bad) + " of " +
+                       std::to_string(buf.size());
+        }
+      }
+    });
+  } catch (const Error& e) {
+    out.ok = false;
+    out.detail = std::string("execution failed: ") + e.what() + " [" +
+                 describe(c) + "]";
+    return out;
+  }
+  out.messages = world.total_msgs();
+  if (!first_fail.empty()) {
+    out.ok = false;
+    out.detail = first_fail + " [" + describe(c) + "]";
+    return out;
+  }
+
+  // Phase 3: the schedule the threads actually ran must move exactly the
+  // message count the recording predicted (faults may reorder and reshape
+  // protocols, never add or drop messages).
+  if (have_expected && out.messages != expected_msgs) {
+    out.ok = false;
+    out.detail = "threaded run moved " + std::to_string(out.messages) +
+                 " msgs, recorded schedule has " +
+                 std::to_string(expected_msgs) + " [" + describe(c) + "]";
+  }
+  return out;
+}
+
+}  // namespace bsb::fuzz

@@ -1,0 +1,43 @@
+// Differential runner for one fuzz case: records the variant's schedule and
+// validates it symbolically (matching + closed-form transfer counts from
+// core/transfer_analysis and core/ring_plan), then executes it on the
+// mpisim thread backend — under the case's fault plan — and compares every
+// rank's result buffer byte-for-byte against the local pattern oracle.
+// Hangs become DeadlockError via the watchdog, so every failure mode ends
+// up as a reportable string, never a stuck process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/case.hpp"
+
+namespace bsb::fuzz {
+
+/// Deliberate schedule corruption for the harness self-test: proves the
+/// detectors catch exactly the class of bug the pairing invariant guards
+/// against.
+enum class Sabotage : std::uint8_t {
+  None,
+  /// plan.step += 1 inside the tuned ring (off-by-one in the special
+  /// phase). Only perturbs the tuned-ring variants.
+  RingPlanStepOffByOne,
+};
+
+struct RunOutcome {
+  bool ok = true;
+  /// Empty when ok; otherwise the first discrepancy, in the order the
+  /// checks run (symbolic first, so self-test failures surface without
+  /// waiting out the watchdog).
+  std::string detail;
+  /// Messages the threaded run moved (0 if it was not reached).
+  std::uint64_t messages = 0;
+};
+
+/// True when `sabotage` can perturb this case at all (self-test cases must
+/// pick a tuned-ring variant).
+bool sabotage_applies(const FuzzCase& c, Sabotage sabotage) noexcept;
+
+RunOutcome run_case(const FuzzCase& c, Sabotage sabotage = Sabotage::None);
+
+}  // namespace bsb::fuzz

@@ -1,0 +1,26 @@
+// Automatic config shrinking: given a failing fuzz case, greedily apply
+// reductions (drop the fault plan, halve/decrement the process count, halve
+// the message size, zero the root, default the eager threshold) for as long
+// as the reduced config still fails, so the reported reproducer is the
+// smallest configuration the harness can find that exhibits the bug.
+#pragma once
+
+#include <string>
+
+#include "fuzz/case.hpp"
+#include "fuzz/runner.hpp"
+
+namespace bsb::fuzz {
+
+struct ShrinkResult {
+  FuzzCase minimal;           // smallest still-failing configuration
+  std::string minimal_detail; // its failure message
+  int reruns = 0;             // run_case invocations spent shrinking
+};
+
+/// `failing` must fail under run_case(failing, sabotage); the result's
+/// `minimal` is guaranteed to still fail. Bounded by `max_reruns`.
+ShrinkResult shrink_case(const FuzzCase& failing, Sabotage sabotage,
+                         int max_reruns = 48);
+
+}  // namespace bsb::fuzz

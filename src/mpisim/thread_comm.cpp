@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "bsbutil/error.hpp"
+#include "bsbutil/rng.hpp"
 #include "mpisim/errors.hpp"
 
 namespace bsb::mpisim {
@@ -14,6 +16,52 @@ namespace {
 bool matches(int want_src, int want_tag, int src, int tag) noexcept {
   return (want_src == kAnySource || want_src == src) &&
          (want_tag == kAnyTag || want_tag == tag);
+}
+
+/// Per-message fault decisions, derived deterministically from the fault
+/// seed and the message identity (src, dst, tag, per-pair sequence number)
+/// so a given seed injects the same faults on every run.
+struct FaultDecisions {
+  std::uint32_t delay_us = 0;
+  std::size_t reorder_jump = 0;  // arrivals of OTHER sources to jump over
+  bool force_rendezvous = false;
+  bool force_eager = false;
+};
+
+FaultDecisions roll_faults(const FaultConfig& f, int src, int dst, int tag,
+                           std::uint64_t seq) noexcept {
+  std::uint64_t key = f.seed;
+  for (const std::uint64_t v :
+       {static_cast<std::uint64_t>(src), static_cast<std::uint64_t>(dst),
+        static_cast<std::uint64_t>(tag), seq}) {
+    key = (key ^ v) * 0x100000001b3ULL + 0x9e3779b97f4a7c15ULL;
+  }
+  SplitMix64 dice(key);
+  FaultDecisions d;
+  if (dice.next_double() < f.delay_prob && f.max_delay_us > 0) {
+    d.delay_us = static_cast<std::uint32_t>(dice.next_below(f.max_delay_us) + 1);
+  }
+  if (dice.next_double() < f.reorder_prob) {
+    d.reorder_jump = static_cast<std::size_t>(1 + dice.next_below(4));
+  }
+  d.force_rendezvous = dice.next_double() < f.force_rendezvous_prob;
+  d.force_eager = dice.next_double() < f.force_eager_prob;
+  return d;
+}
+
+/// Queue `arr`, jumping over at most `jump` trailing arrivals from OTHER
+/// sources. Never crosses an arrival from the same source, so per-source
+/// non-overtaking order (the only cross-message order MPI guarantees) is
+/// preserved; only the inter-source order seen by wildcard receives moves.
+void enqueue_arrival(detail::Mailbox& box, detail::Arrival&& arr,
+                     std::size_t jump) {
+  auto pos = box.arrivals.end();
+  while (jump > 0 && pos != box.arrivals.begin() &&
+         std::prev(pos)->src != arr.src) {
+    --pos;
+    --jump;
+  }
+  box.arrivals.insert(pos, std::move(arr));
 }
 
 void copy_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
@@ -93,7 +141,16 @@ void wait_all(std::span<Request> requests) {
 Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
   BSB_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
   BSB_REQUIRE(tag >= 0, "send: tag must be nonnegative");
-  world_->count_send(rank_, dest, buf.size());
+  const std::uint64_t seq = world_->count_send(rank_, dest, buf.size());
+
+  const FaultConfig& faults = world_->config().faults;
+  FaultDecisions fd;
+  if (faults.enabled) {
+    fd = roll_faults(faults, rank_, dest, tag, seq);
+    if (fd.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fd.delay_us));
+    }
+  }
 
   detail::Mailbox& box = world_->mailbox(dest);
   const std::lock_guard<std::mutex> lk(box.mu);
@@ -125,14 +182,19 @@ Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
     return req;
   }
 
-  // 2. Eager: copy into the mailbox and complete immediately.
-  if (buf.size() <= world_->config().eager_threshold) {
+  // 2. Eager: copy into the mailbox and complete immediately. Fault
+  //    injection may flip the protocol either way; both choices are legal
+  //    for a standard-mode send, so correct algorithms must survive both.
+  bool eager = buf.size() <= world_->config().eager_threshold;
+  if (eager && fd.force_rendezvous) eager = false;
+  if (!eager && fd.force_eager) eager = true;
+  if (eager) {
     detail::Arrival arr;
     arr.src = rank_;
     arr.tag = tag;
     arr.eager = true;
     arr.payload.assign(buf.begin(), buf.end());
-    box.arrivals.push_back(std::move(arr));
+    enqueue_arrival(box, std::move(arr), fd.reorder_jump);
     box.cv.notify_all();
     Request req;
     req.state_ = std::make_shared<Request::State>();
@@ -153,7 +215,7 @@ Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
   req.state_->sendc = arr.completion;
   req.state_->box = &box;
   req.state_->watchdog_seconds = world_->config().watchdog_seconds;
-  box.arrivals.push_back(std::move(arr));
+  enqueue_arrival(box, std::move(arr), fd.reorder_jump);
   box.cv.notify_all();
   return req;
 }

@@ -51,10 +51,11 @@ void World::run(const std::function<void(ThreadComm&)>& body) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void World::count_send(int src, int dst, std::size_t bytes) noexcept {
+std::uint64_t World::count_send(int src, int dst, std::size_t bytes) noexcept {
   const std::size_t idx = static_cast<std::size_t>(src) * nranks_ + dst;
-  stat_msgs_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = stat_msgs_[idx].fetch_add(1, std::memory_order_relaxed);
   stat_bytes_[idx].fetch_add(bytes, std::memory_order_relaxed);
+  return seq;
 }
 
 PairStats World::pair_stats(int src, int dst) const {

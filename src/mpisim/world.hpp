@@ -30,12 +30,42 @@ namespace bsb::mpisim {
 
 class ThreadComm;
 
+/// Deterministic fault injection for adversarial correctness testing.
+///
+/// All decisions are pure functions of (seed, src, dst, tag, per-pair send
+/// sequence number), so the same seed injects the same faults on every run
+/// regardless of thread scheduling. Every injected fault stays within the
+/// MPI contract — a correct algorithm must survive all of them:
+///  * delays perturb thread interleaving (legal: MPI makes no timing
+///    promises);
+///  * reordering shuffles mailbox arrivals ACROSS sources only, preserving
+///    each source's own order (legal: non-overtaking binds per source);
+///  * protocol flips force an eager-size message through rendezvous or a
+///    rendezvous-size message through eager buffering (legal: standard-mode
+///    MPI_Send may or may not buffer; portable programs cannot rely on it).
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  /// Probability a send sleeps before delivery, and the maximum sleep.
+  double delay_prob = 0.0;
+  std::uint32_t max_delay_us = 0;
+  /// Probability a queued arrival is inserted ahead of other sources'
+  /// arrivals already waiting in the mailbox.
+  double reorder_prob = 0.0;
+  /// Probability an eager-size message is forced through rendezvous.
+  double force_rendezvous_prob = 0.0;
+  /// Probability a rendezvous-size message is forced through eager copy.
+  double force_eager_prob = 0.0;
+};
+
 struct WorldConfig {
   /// Messages at most this size are buffered by the runtime (eager); larger
   /// ones block the sender until the receiver matches (rendezvous).
   std::size_t eager_threshold = 65536;
   /// Blocking operations throw DeadlockError after this many seconds.
   double watchdog_seconds = 60.0;
+  /// Deterministic fault injection (off by default).
+  FaultConfig faults;
 };
 
 /// Message and byte counts for one (source, dest) pair.
@@ -113,7 +143,10 @@ class World {
   friend class ThreadComm;
 
   detail::Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
-  void count_send(int src, int dst, std::size_t bytes) noexcept;
+  /// Records the send in the traffic counters and returns its sequence
+  /// number on the (src, dst) pair (0-based) — the fault-injection layer
+  /// keys its deterministic decisions on it.
+  std::uint64_t count_send(int src, int dst, std::size_t bytes) noexcept;
   void barrier_wait();
 
   int nranks_;

@@ -24,4 +24,15 @@ TrafficStats traffic_stats(const MatchResult& m, const Topology& topo) {
   return s;
 }
 
+std::vector<RankOpCounts> per_rank_op_counts(const Schedule& sched) {
+  std::vector<RankOpCounts> counts(static_cast<std::size_t>(sched.nranks));
+  for (int r = 0; r < sched.nranks; ++r) {
+    for (const Op& op : sched.ops[static_cast<std::size_t>(r)]) {
+      if (op.has_send()) ++counts[static_cast<std::size_t>(r)].sends;
+      if (op.has_recv()) ++counts[static_cast<std::size_t>(r)].recvs;
+    }
+  }
+  return counts;
+}
+
 }  // namespace bsb::trace

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "comm/topology.hpp"
 #include "trace/match.hpp"
@@ -25,5 +26,16 @@ struct TrafficStats {
 /// Count matched messages, classifying each as intra- or inter-node per the
 /// topology. Zero-byte messages count as messages (they are real sends).
 TrafficStats traffic_stats(const MatchResult& m, const Topology& topo);
+
+/// Send/receive operations one rank performs in a schedule (SendRecv counts
+/// once on each side). The fuzz harness compares these against the closed
+/// forms in core/transfer_analysis and core/ring_plan.
+struct RankOpCounts {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+};
+
+/// Per-rank operation counts, indexed by rank.
+std::vector<RankOpCounts> per_rank_op_counts(const Schedule& sched);
 
 }  // namespace bsb::trace

@@ -4,6 +4,8 @@
 // locally computed oracles. Seeds are fixed so failures reproduce.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bsbutil/rng.hpp"
@@ -16,6 +18,26 @@
 
 namespace bsb {
 namespace {
+
+// The fixed default seeds below always run, so failures reproduce across
+// machines; CI can ADD rotating seeds without code edits by exporting
+// BSB_CHAOS_SEEDS as a comma-separated list (e.g. BSB_CHAOS_SEEDS=7,1234).
+std::vector<std::uint64_t> chaos_seeds(std::vector<std::uint64_t> defaults) {
+  if (const char* env = std::getenv("BSB_CHAOS_SEEDS")) {
+    const std::string s(env);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t next = s.find(',', pos);
+      if (next == std::string::npos) next = s.size();
+      const std::string tok = s.substr(pos, next - pos);
+      if (!tok.empty()) {
+        defaults.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+      }
+      pos = next + 1;
+    }
+  }
+  return defaults;
+}
 
 // Every rank derives the SAME traffic script from the seed: a list of
 // (src, dst, tag, size) messages. Each rank sends its share in script
@@ -91,7 +113,8 @@ TEST_P(ChaosP2P, ScriptedTrafficDeliversEverything) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosP2P,
-                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+                         ::testing::ValuesIn(chaos_seeds(
+                             {11u, 22u, 33u, 44u, 55u, 66u})));
 
 // Careful: blocking sends with pre-posted receives can still deadlock if a
 // rendezvous send's match sits behind OUR OWN unposted receive. The script
@@ -199,8 +222,9 @@ TEST_P(ChaosCollectives, RandomCompositionMatchesOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosCollectives,
-                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u,
-                                           707u, 808u));
+                         ::testing::ValuesIn(chaos_seeds(
+                             {101u, 202u, 303u, 404u, 505u, 606u, 707u,
+                              808u})));
 
 }  // namespace
 }  // namespace bsb

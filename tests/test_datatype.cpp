@@ -123,7 +123,14 @@ TEST(TypedTransfer, LayoutSizeMismatchIsTruncation) {
   world.run([](mpisim::ThreadComm& comm) {
     std::vector<int> m(12, 0);
     if (comm.rank() == 0) {
-      send_layout(comm, std::span<const int>(m), Datatype::contiguous(6), 1, 0);
+      // If the undersized receive was already posted when the send matches
+      // it, the SENDER observes the truncation too — legal either way, so
+      // tolerate (but don't require) the sender-side throw.
+      try {
+        send_layout(comm, std::span<const int>(m), Datatype::contiguous(6), 1,
+                    0);
+      } catch (const mpisim::TruncationError&) {
+      }
     } else {
       // Receiver expects only 4 elements: the runtime flags truncation.
       EXPECT_THROW(

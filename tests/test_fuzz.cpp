@@ -1,0 +1,174 @@
+// Tests for the differential fuzz harness itself: the generator's
+// determinism and structural guarantees, a bounded clean sweep through
+// run_case, the sabotage self-test path (detection + shrinking), and the
+// reproducer round trip.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "fuzz/case.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace bsb::fuzz {
+namespace {
+
+bool is_pow2(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+bool is_allgather_variant(Variant v) {
+  switch (v) {
+    case Variant::AllgatherRingNative:
+    case Variant::AllgatherRingTuned:
+    case Variant::AllgatherRecursiveDoubling:
+    case Variant::AllgatherBruck:
+    case Variant::AllgatherNeighborExchange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(FuzzCaseGenerator, SameSeedAndIndexReplaysBitIdentically) {
+  GeneratorOptions opt;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const FuzzCase a = sample_case(0xC0FFEE, i, opt);
+    const FuzzCase b = sample_case(0xC0FFEE, i, opt);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.nranks, b.nranks);
+    EXPECT_EQ(a.root, b.root);
+    EXPECT_EQ(a.nbytes, b.nbytes);
+    EXPECT_EQ(a.segment_bytes, b.segment_bytes);
+    EXPECT_EQ(a.eager_threshold, b.eager_threshold);
+    EXPECT_EQ(a.faults.enabled, b.faults.enabled);
+    EXPECT_EQ(a.faults.seed, b.faults.seed);
+    EXPECT_EQ(describe(a), describe(b));
+  }
+}
+
+TEST(FuzzCaseGenerator, SampledCasesSatisfyStructuralInvariants) {
+  GeneratorOptions opt;
+  std::set<Variant> seen;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const FuzzCase c = sample_case(7, i, opt);
+    seen.insert(c.variant);
+    ASSERT_GE(c.nranks, opt.min_ranks) << describe(c);
+    ASSERT_LE(c.nranks, opt.max_ranks) << describe(c);
+    ASSERT_GE(c.root, 0) << describe(c);
+    ASSERT_LT(c.root, c.nranks) << describe(c);
+    if (c.variant == Variant::BcastScatterRd ||
+        c.variant == Variant::AllgatherRecursiveDoubling) {
+      ASSERT_TRUE(is_pow2(c.nranks)) << describe(c);
+    }
+    if (c.variant == Variant::AllgatherNeighborExchange) {
+      ASSERT_EQ(c.nranks % 2, 0) << describe(c);
+    }
+    if (is_allgather_variant(c.variant)) {
+      ASSERT_EQ(c.nbytes % static_cast<std::uint64_t>(c.nranks), 0u)
+          << describe(c);
+    }
+  }
+  // 2000 draws must exercise every variant.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumVariants));
+}
+
+TEST(FuzzCaseGenerator, FitRanksRoundsDownToLegalCounts) {
+  for (int n = 2; n <= 100; ++n) {
+    EXPECT_TRUE(is_pow2(fit_ranks(Variant::BcastScatterRd, n)));
+    EXPECT_LE(fit_ranks(Variant::BcastScatterRd, n), n);
+    EXPECT_EQ(fit_ranks(Variant::AllgatherNeighborExchange, n) % 2, 0);
+    EXPECT_LE(fit_ranks(Variant::AllgatherNeighborExchange, n), n);
+    EXPECT_EQ(fit_ranks(Variant::BcastBinomial, n), n);
+  }
+  EXPECT_EQ(fit_ranks(Variant::BcastScatterRd, 0), 2);
+}
+
+TEST(FuzzCaseGenerator, VariantNamesRoundTrip) {
+  for (const Variant v : all_variants()) {
+    const auto back = variant_from_string(to_string(v));
+    ASSERT_TRUE(back.has_value()) << to_string(v);
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_FALSE(variant_from_string("no-such-variant").has_value());
+}
+
+// A bounded differential sweep must come back clean: small rank counts and
+// sizes keep this fast while still crossing the eager/rendezvous boundary
+// and hitting fault-injected cases.
+TEST(FuzzRunner, BoundedSweepFindsNoDiscrepancies) {
+  GeneratorOptions opt;
+  opt.max_ranks = 12;
+  opt.max_bytes = 32 * 1024;
+  opt.watchdog_seconds = 20.0;
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    const FuzzCase c = sample_case(42, i, opt);
+    const RunOutcome out = run_case(c);
+    ASSERT_TRUE(out.ok) << describe(c) << "\n  " << out.detail;
+    EXPECT_GT(out.messages + (c.nbytes == 0 ? 1 : 0), 0u) << describe(c);
+  }
+}
+
+TEST(FuzzRunner, SabotageOnlyAppliesToTunedRingVariants) {
+  FuzzCase c;
+  for (const Variant v : all_variants()) {
+    c.variant = v;
+    const bool tuned = v == Variant::BcastScatterRingTuned ||
+                       v == Variant::AllgatherRingTuned;
+    EXPECT_EQ(sabotage_applies(c, Sabotage::RingPlanStepOffByOne), tuned)
+        << to_string(v);
+    EXPECT_FALSE(sabotage_applies(c, Sabotage::None)) << to_string(v);
+  }
+}
+
+TEST(FuzzRunner, RingPlanOffByOneIsDetectedAndShrinks) {
+  FuzzCase c;
+  c.variant = Variant::AllgatherRingTuned;
+  c.nranks = 8;
+  c.root = 0;
+  c.nbytes = 8 * 512;
+  c.watchdog_seconds = 2.0;
+
+  ASSERT_TRUE(run_case(c).ok) << "baseline must pass unsabotaged";
+  const RunOutcome bad = run_case(c, Sabotage::RingPlanStepOffByOne);
+  ASSERT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.detail.empty());
+
+  const ShrinkResult shrunk = shrink_case(c, Sabotage::RingPlanStepOffByOne);
+  EXPECT_LE(shrunk.minimal.nranks, c.nranks);
+  EXPECT_LE(shrunk.minimal.nbytes, c.nbytes);
+  EXPECT_FALSE(run_case(shrunk.minimal, Sabotage::RingPlanStepOffByOne).ok)
+      << "shrunk config must still fail: " << describe(shrunk.minimal);
+  EXPECT_FALSE(explicit_reproducer(shrunk.minimal).empty());
+}
+
+TEST(FuzzHarness, CleanRunReportsEveryCaseAndNoFailures) {
+  HarnessOptions opt;
+  opt.seed = 99;
+  opt.cases = 60;
+  opt.gen.max_ranks = 10;
+  opt.gen.max_bytes = 16 * 1024;
+  std::ostringstream sink;
+  const HarnessReport rep = run_fuzz(opt, sink);
+  EXPECT_EQ(rep.cases_run, opt.cases);
+  EXPECT_EQ(rep.failures, 0u);
+  std::uint64_t covered = 0;
+  for (const std::uint64_t n : rep.per_variant) covered += n;
+  EXPECT_EQ(covered, opt.cases);
+}
+
+TEST(FuzzHarness, SelftestDetectsSabotagedPlan) {
+  HarnessOptions opt;
+  opt.seed = 3;
+  opt.cases = 4;
+  opt.gen.max_ranks = 10;
+  opt.gen.max_bytes = 16 * 1024;
+  std::ostringstream sink;
+  EXPECT_TRUE(run_selftest(opt, sink));
+  // The report must include both forms of reproducer.
+  const std::string log = sink.str();
+  EXPECT_NE(log.find("bsb-fuzz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsb::fuzz

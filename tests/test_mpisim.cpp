@@ -471,5 +471,126 @@ TEST(Run, RejectsBadPeerArguments) {
   });
 }
 
+// ------------------------------------------------- adversarial negatives
+
+// An intentional cyclic wait: every rank issues a rendezvous-size blocking
+// send to its right neighbour before posting any receive, so the whole
+// ring blocks on unmatched sends. The watchdog must convert the hang into
+// DeadlockError instead of wedging the suite.
+TEST(Watchdog, CyclicRendezvousWaitThrowsDeadlock) {
+  WorldConfig cfg;
+  cfg.eager_threshold = 16;  // everything below blocks until matched
+  cfg.watchdog_seconds = 0.2;
+  World world(3, cfg);
+  EXPECT_THROW(world.run([](ThreadComm& comm) {
+                 std::vector<std::byte> big(64);
+                 const int right = (comm.rank() + 1) % comm.size();
+                 comm.send(big, right, 0);  // never matched: cycle
+                 std::vector<std::byte> in(64);
+                 comm.recv(in, (comm.rank() + 2) % comm.size(), 0);
+               }),
+               DeadlockError);
+}
+
+// Wildcard receives must still observe per-source non-overtaking order:
+// two sequence-numbered streams interleave arbitrarily ACROSS sources, but
+// each source's own messages arrive in send order.
+TEST(Wildcard, AnySourceAnyTagPreservesPerSourceOrder) {
+  constexpr int kPerSource = 20;
+  World world(3);
+  world.run([&](ThreadComm& comm) {
+    if (comm.rank() != 0) {
+      for (int i = 0; i < kPerSource; ++i) {
+        const auto payload = bytes_of({comm.rank(), i});
+        comm.send(payload, 0, /*tag=*/i % 3);
+      }
+      return;
+    }
+    int next_from[3] = {0, 0, 0};
+    for (int i = 0; i < 2 * kPerSource; ++i) {
+      std::vector<std::byte> in(2);
+      const Status st = comm.recv(in, kAnySource, kAnyTag);
+      ASSERT_EQ(st.bytes, 2u);
+      const int src = static_cast<int>(in[0]);
+      const int seq = static_cast<int>(in[1]);
+      ASSERT_EQ(src, st.source);
+      ASSERT_EQ(seq, next_from[src]++)
+          << "message " << i << " from rank " << src << " overtook";
+    }
+    EXPECT_EQ(next_from[1], kPerSource);
+    EXPECT_EQ(next_from[2], kPerSource);
+  });
+}
+
+// Per-source order holds even under fault injection (delays + cross-source
+// reordering + protocol flips): the reorderer may only jump arrivals over
+// OTHER sources' messages.
+TEST(Wildcard, PerSourceOrderSurvivesFaultInjection) {
+  constexpr int kPerSource = 30;
+  WorldConfig cfg;
+  cfg.eager_threshold = 4;
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 0xFEED;
+  cfg.faults.delay_prob = 0.2;
+  cfg.faults.max_delay_us = 50;
+  cfg.faults.reorder_prob = 0.8;
+  cfg.faults.force_rendezvous_prob = 0.3;
+  cfg.faults.force_eager_prob = 0.3;
+  World world(4, cfg);
+  world.run([&](ThreadComm& comm) {
+    if (comm.rank() != 0) {
+      for (int i = 0; i < kPerSource; ++i) {
+        const auto payload = bytes_of({comm.rank(), i});
+        comm.send(payload, 0, 0);
+      }
+      return;
+    }
+    int next_from[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 3 * kPerSource; ++i) {
+      std::vector<std::byte> in(2);
+      const Status st = comm.recv(in, kAnySource, kAnyTag);
+      const int src = static_cast<int>(in[0]);
+      const int seq = static_cast<int>(in[1]);
+      ASSERT_EQ(src, st.source);
+      ASSERT_EQ(seq, next_from[src]++)
+          << "fault injection broke per-source FIFO (message " << i << ")";
+    }
+  });
+}
+
+// Truncation on both sides of an oversized match when the receive uses
+// wildcards: the receiver gets TruncationError, and a rendezvous sender
+// blocked on the same match gets it too instead of hanging.
+TEST(Truncation, WildcardReceiveRaisesOnBothSides) {
+  WorldConfig cfg;
+  cfg.eager_threshold = 4;  // the 8-byte message goes rendezvous
+  World world(2, cfg);
+  std::atomic<int> truncations{0};
+  try {
+    world.run([&](ThreadComm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<std::byte> big(8);
+        try {
+          comm.send(big, 1, 5);
+        } catch (const TruncationError&) {
+          truncations.fetch_add(1);
+          throw;
+        }
+      } else {
+        std::vector<std::byte> small(4);
+        try {
+          comm.recv(small, kAnySource, kAnyTag);
+        } catch (const TruncationError&) {
+          truncations.fetch_add(1);
+          throw;
+        }
+      }
+    });
+    FAIL() << "expected TruncationError";
+  } catch (const TruncationError&) {
+  }
+  EXPECT_EQ(truncations.load(), 2);
+}
+
 }  // namespace
 }  // namespace bsb::mpisim

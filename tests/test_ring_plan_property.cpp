@@ -1,0 +1,111 @@
+// Property tests for the paper's Listing-1 mask loop (compute_ring_plan),
+// swept across every process count P = 2..1024 (powers of two, primes,
+// everything between): the skipped-send/skipped-receive pairing invariant
+// that makes the tuned ring deadlock-free, and the exact agreement of the
+// per-rank closed forms with tuned_ring_transfers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/ring_plan.hpp"
+#include "core/transfer_analysis.hpp"
+
+namespace bsb::core {
+namespace {
+
+constexpr int kMaxP = 1024;
+
+// Rank r skips its SEND on link (r -> r+1) at ring step i iff it is
+// receive-only and the step falls in its special phase; its right
+// neighbour skips the matching RECEIVE iff it is send-only in ITS special
+// phase. The schedule stays matched (and deadlock-free) only when the two
+// decisions agree on every link at every step.
+TEST(RingPlanProperty, SkippedSendPairsWithSkippedReceiveOnSameLink) {
+  for (int P = 2; P <= kMaxP; ++P) {
+    for (int r = 0; r < P; ++r) {
+      const RingPlan plan = compute_ring_plan(r, P);
+      const RingPlan right = compute_ring_plan((r + 1) % P, P);
+      ASSERT_GE(plan.step, 1) << "P=" << P << " rel=" << r;
+      ASSERT_LE(plan.step, P) << "P=" << P << " rel=" << r;
+      // A send-skipping rank's right neighbour must skip receives over the
+      // SAME number of trailing steps — the pairing invariant. Plans with
+      // step == 1 have an empty special phase and constrain nothing (e.g.
+      // rel=1 at P=3 is recv_only with step 1).
+      if (plan.recv_only && plan.step > 1) {
+        ASSERT_FALSE(right.recv_only)
+            << "P=" << P << " rel=" << r
+            << ": send-skipper's right neighbour also skips sends";
+        ASSERT_EQ(plan.step, right.step)
+            << "P=" << P << " rel=" << r
+            << ": unequal special phases on one ring link";
+      }
+      // And symmetrically: a receive-skipping rank (send-only, step > 1)
+      // must be the right neighbour of a matching send-skipper.
+      if (!plan.recv_only && plan.step > 1) {
+        const RingPlan left = compute_ring_plan((r + P - 1) % P, P);
+        ASSERT_TRUE(left.recv_only)
+            << "P=" << P << " rel=" << r
+            << ": receive-skipper's left neighbour keeps sending";
+        ASSERT_EQ(left.step, plan.step) << "P=" << P << " rel=" << r;
+      }
+    }
+  }
+}
+
+// Exhaustive per-step agreement for the small/medium counts (the large-P
+// structure is covered by the step-equality form above).
+TEST(RingPlanProperty, PerStepAgreementUpTo128) {
+  for (int P = 2; P <= 128; ++P) {
+    for (int r = 0; r < P; ++r) {
+      const RingPlan plan = compute_ring_plan(r, P);
+      const RingPlan right = compute_ring_plan((r + 1) % P, P);
+      for (int i = 1; i < P; ++i) {
+        const bool send_skipped = plan.recv_only && is_special_step(plan, i, P);
+        const bool recv_skipped =
+            !right.recv_only && is_special_step(right, i, P);
+        ASSERT_EQ(send_skipped, recv_skipped)
+            << "P=" << P << " rel=" << r << " step=" << i;
+      }
+    }
+  }
+}
+
+// The root never receives; the rank to its left never sends.
+TEST(RingPlanProperty, RootAndItsLeftNeighbourAreFullySpecial) {
+  for (int P = 2; P <= kMaxP; ++P) {
+    const RingPlan root = compute_ring_plan(0, P);
+    ASSERT_FALSE(root.recv_only) << "P=" << P;
+    ASSERT_EQ(tuned_recvs(root, P), 0) << "P=" << P;
+    const RingPlan left_of_root = compute_ring_plan(P - 1, P);
+    ASSERT_TRUE(left_of_root.recv_only) << "P=" << P;
+    ASSERT_EQ(tuned_sends(left_of_root, P), 0) << "P=" << P;
+  }
+}
+
+// Summed per-rank closed forms equal tuned_ring_transfers EXACTLY: total
+// sends == total receives == native P(P-1) minus the pairing savings.
+TEST(RingPlanProperty, SummedSendsAndRecvsEqualTunedRingTransfers) {
+  for (int P = 2; P <= kMaxP; ++P) {
+    std::uint64_t sends = 0, recvs = 0;
+    for (int r = 0; r < P; ++r) {
+      const RingPlan plan = compute_ring_plan(r, P);
+      sends += static_cast<std::uint64_t>(tuned_sends(plan, P));
+      recvs += static_cast<std::uint64_t>(tuned_recvs(plan, P));
+    }
+    ASSERT_EQ(sends, recvs) << "P=" << P;
+    ASSERT_EQ(sends, tuned_ring_transfers(P)) << "P=" << P;
+    ASSERT_EQ(native_ring_transfers(P) - sends, tuned_ring_savings(P))
+        << "P=" << P;
+  }
+}
+
+// The paper's §IV in-text arithmetic.
+TEST(RingPlanProperty, PaperTransferCounts) {
+  EXPECT_EQ(native_ring_transfers(8), 56u);
+  EXPECT_EQ(tuned_ring_transfers(8), 44u);
+  EXPECT_EQ(native_ring_transfers(10), 90u);
+  EXPECT_EQ(tuned_ring_transfers(10), 75u);
+}
+
+}  // namespace
+}  // namespace bsb::core
