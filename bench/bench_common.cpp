@@ -1,11 +1,16 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "bsbutil/ascii_plot.hpp"
 #include "bsbutil/csv.hpp"
+#include "bsbutil/error.hpp"
 #include "bsbutil/format.hpp"
 #include "bsbutil/table.hpp"
 #include "bsbutil/units.hpp"
@@ -20,8 +25,11 @@ Options parse_options(int argc, char** argv) {
       opt.quick = true;
     } else if (arg == "--csv-dir" && i + 1 < argc) {
       opt.csv_dir = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--csv-dir <dir>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--csv-dir <dir>] [--json <path>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -64,10 +72,13 @@ void print_bandwidth_comparison(const std::string& title,
     peak_tuned = std::max(peak_tuned, c.tuned.bandwidth);
     best = std::max(best, c.improvement());
   }
+  // An empty sweep (or an all-zero-bandwidth one) must not divide by zero
+  // and print a NaN/inf banner.
+  const double peak_gain = peak_native > 0 ? peak_tuned / peak_native - 1.0 : 0.0;
   std::cout << "== " << title << " ==\n"
             << t.render() << "peak: native " << format_mbps(peak_native)
             << " MB/s, tuned " << format_mbps(peak_tuned) << " MB/s ("
-            << format_percent(peak_tuned / peak_native - 1.0)
+            << format_percent(peak_gain)
             << "); best per-size improvement " << format_percent(best) << "\n\n";
 }
 
@@ -91,6 +102,13 @@ void print_bandwidth_plot(const std::string& title,
 void maybe_write_csv(const Options& opt, const std::string& name,
                      const std::vector<Comparison>& rows, int nranks) {
   if (opt.csv_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.csv_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create --csv-dir %s: %s\n",
+                 opt.csv_dir.c_str(), ec.message().c_str());
+    std::exit(1);
+  }
   CsvWriter csv(opt.csv_dir + "/" + name + ".csv");
   csv.row({"nranks", "nbytes", "native_mbps", "tuned_mbps", "improvement",
            "native_msgs", "tuned_msgs", "native_inter_msgs", "tuned_inter_msgs"});
@@ -104,6 +122,73 @@ void maybe_write_csv(const Options& opt, const std::string& name,
              std::to_string(c.tuned.traffic.inter_msgs)});
   }
   std::cout << "(csv written: " << opt.csv_dir << "/" << name << ".csv)\n";
+}
+
+namespace {
+
+double quantile_seconds(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchMetric summarize_samples(std::string name, std::vector<double>& samples,
+                              std::uint64_t bytes, int ranks) {
+  BenchMetric m;
+  m.name = std::move(name);
+  m.bytes = bytes;
+  m.ranks = ranks;
+  m.samples = samples.size();
+  double total = 0;
+  for (double s : samples) total += s;
+  m.ops_per_sec = total > 0 ? static_cast<double>(samples.size()) / total : 0.0;
+  std::sort(samples.begin(), samples.end());
+  m.p50_us = quantile_seconds(samples, 0.50) * 1e6;
+  m.p99_us = quantile_seconds(samples, 0.99) * 1e6;
+  return m;
+}
+
+void write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchMetric>& metrics, bool quick) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      throw Error("bench json: cannot create directory " +
+                  p.parent_path().string() + ": " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("bench json: cannot open " + path + " for writing");
+  out << "{\n"
+      << "  \"schema\": \"bsb-bench-v1\",\n"
+      << "  \"bench\": \"" << bench << "\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"metrics\": [\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const BenchMetric& m = metrics[i];
+    out << "    {\"name\": \"" << m.name << "\", \"ops_per_sec\": "
+        << json_number(m.ops_per_sec) << ", \"p50_us\": " << json_number(m.p50_us)
+        << ", \"p99_us\": " << json_number(m.p99_us) << ", \"samples\": "
+        << m.samples << ", \"bytes\": " << m.bytes << ", \"ranks\": " << m.ranks
+        << "}" << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out.good()) throw Error("bench json: write to " + path + " failed");
+  std::cout << "(json written: " << path << ")\n";
 }
 
 std::vector<std::uint64_t> fig6_sizes(bool quick) {

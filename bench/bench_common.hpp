@@ -20,10 +20,35 @@ struct Options {
   bool quick = false;
   /// Directory for CSV result files; empty = no CSVs.
   std::string csv_dir;
+  /// Path for a machine-readable BENCH_*.json artifact; empty = no JSON.
+  std::string json_path;
 };
 
-/// Parse --quick and --csv-dir <dir>; exits with usage on unknown flags.
+/// Parse --quick, --csv-dir <dir> and --json <path>; exits with usage on
+/// unknown flags.
 Options parse_options(int argc, char** argv);
+
+/// One measured series for the BENCH_*.json artifact (schema documented in
+/// EXPERIMENTS.md and validated by scripts/bench_compare.py).
+struct BenchMetric {
+  std::string name;       // stable identifier, e.g. "pingpong_eager_1KiB"
+  double ops_per_sec = 0; // completed operations per second
+  double p50_us = 0;      // median per-operation latency, microseconds
+  double p99_us = 0;      // 99th-percentile per-operation latency
+  std::uint64_t samples = 0;  // number of timed operations
+  std::uint64_t bytes = 0;    // payload bytes per operation (0 = n/a)
+  int ranks = 0;              // world size (0 = n/a)
+};
+
+/// Compute ops/sec and latency percentiles from per-operation second
+/// samples. `samples` is consumed (sorted in place).
+BenchMetric summarize_samples(std::string name, std::vector<double>& samples,
+                              std::uint64_t bytes, int ranks);
+
+/// Write metrics as a bsb-bench-v1 JSON artifact. Creates parent
+/// directories; throws bsb::Error if the file cannot be written.
+void write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchMetric>& metrics, bool quick);
 
 /// Run one bcast algorithm through the simulator.
 netsim::SimResult simulate_algorithm(core::BcastAlgorithm algo, int nranks,

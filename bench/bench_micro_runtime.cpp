@@ -1,16 +1,32 @@
-// google-benchmark microbenchmarks of the thread-backed runtime: p2p
-// latency (eager and rendezvous), sendrecv exchange, barrier, and world
-// spin-up — the substrate costs under everything else.
+// Microbenchmarks of the thread-backed runtime: p2p latency (eager and
+// rendezvous), sendrecv exchange, barrier, and world spin-up — the
+// substrate costs under everything else.
+//
+// Two modes:
+//  * default: google-benchmark microbenchmarks (wall-clock tables);
+//  * --json <path> [--quick]: the fixed regression suite — eager and
+//    rendezvous ping-pong, sendrecv ring, and the tuned-vs-native
+//    scatter-ring broadcast at P in {4,8,10,16} — written as a
+//    bsb-bench-v1 JSON artifact (ops/sec, p50/p99 latency) that
+//    scripts/bench_compare.py validates and gates on.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "coll/bcast_scatter_ring_native.hpp"
+#include "core/bcast_scatter_ring_tuned.hpp"
 #include "mpisim/thread_comm.hpp"
 #include "mpisim/world.hpp"
 
 using namespace bsb;
 
 namespace {
+
+// ------------------------------------------------ google-benchmark mode
 
 void BM_WorldSpawnJoin(benchmark::State& state) {
   const int P = static_cast<int>(state.range(0));
@@ -69,6 +85,134 @@ void BM_Barrier(benchmark::State& state) {
 }
 BENCHMARK(BM_Barrier)->Arg(4)->Arg(16);
 
+// ----------------------------------------------------------- --json mode
+
+/// Round-trip ping-pong between ranks 0 and 1; one sample = one round
+/// trip (send + matching recv each way), timed on rank 0.
+bench::BenchMetric measure_pingpong(const std::string& name, std::size_t bytes,
+                                    std::size_t eager_threshold, int rounds) {
+  mpisim::WorldConfig cfg;
+  cfg.eager_threshold = eager_threshold;
+  cfg.watchdog_seconds = 120;
+  mpisim::World world(2, cfg);
+  std::vector<double> samples;
+  samples.reserve(rounds);
+  world.run([&](mpisim::ThreadComm& comm) {
+    std::vector<std::byte> buf(bytes);
+    comm.barrier();
+    for (int i = 0; i < rounds; ++i) {
+      if (comm.rank() == 0) {
+        const auto t0 = std::chrono::steady_clock::now();
+        comm.send(buf, 1, 0);
+        comm.recv(buf, 1, 1);
+        const auto t1 = std::chrono::steady_clock::now();
+        samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+      } else {
+        comm.recv(buf, 0, 0);
+        comm.send(buf, 0, 1);
+      }
+    }
+  });
+  return bench::summarize_samples(name, samples, bytes, 2);
+}
+
+/// Full-duplex neighbour exchange around a P-ring; one sample = one
+/// sendrecv step, timed on rank 0 (all ranks step together).
+bench::BenchMetric measure_sendrecv_ring(const std::string& name, int P,
+                                         std::size_t bytes, int steps) {
+  mpisim::WorldConfig cfg;
+  cfg.watchdog_seconds = 120;
+  mpisim::World world(P, cfg);
+  std::vector<double> samples;
+  samples.reserve(steps);
+  world.run([&](mpisim::ThreadComm& comm) {
+    std::vector<std::byte> out(bytes), in(bytes);
+    const int right = (comm.rank() + 1) % P;
+    const int left = (comm.rank() + P - 1) % P;
+    comm.barrier();
+    for (int step = 0; step < steps; ++step) {
+      if (comm.rank() == 0) {
+        const auto t0 = std::chrono::steady_clock::now();
+        comm.sendrecv(out, right, 0, in, left, 0);
+        const auto t1 = std::chrono::steady_clock::now();
+        samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+      } else {
+        comm.sendrecv(out, right, 0, in, left, 0);
+      }
+    }
+  });
+  return bench::summarize_samples(name, samples, bytes, P);
+}
+
+/// Scatter-ring broadcast (native or the paper's tuned variant) from rank
+/// 0; one sample = one broadcast, timed on the root. Same iteration
+/// structure for both variants so the pair is directly comparable.
+bench::BenchMetric measure_bcast(const std::string& name, int P,
+                                 std::size_t bytes, bool tuned, int iters) {
+  mpisim::WorldConfig cfg;
+  cfg.eager_threshold = 8192;  // chunks of bytes/P ride rendezvous
+  cfg.watchdog_seconds = 120;
+  mpisim::World world(P, cfg);
+  std::vector<double> samples;
+  samples.reserve(iters);
+  world.run([&](mpisim::ThreadComm& comm) {
+    std::vector<std::byte> buf(bytes, std::byte{1});
+    comm.barrier();
+    for (int i = 0; i < iters; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (tuned) {
+        core::bcast_scatter_ring_tuned(comm, buf, 0);
+      } else {
+        coll::bcast_scatter_ring_native(comm, buf, 0);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      if (comm.rank() == 0) {
+        samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+      }
+    }
+  });
+  return bench::summarize_samples(name, samples, bytes, P);
+}
+
+int run_json_suite(const bench::Options& opt) {
+  const bool q = opt.quick;
+  std::vector<bench::BenchMetric> metrics;
+
+  // Warm up the thread pool / allocator before the eager number that the
+  // regression gate keys on.
+  measure_pingpong("warmup", 1024, 65536, q ? 50 : 2000);
+
+  metrics.push_back(measure_pingpong("pingpong_eager_1KiB", 1024, 65536,
+                                     q ? 500 : 20000));
+  metrics.push_back(measure_pingpong("pingpong_rendezvous_256KiB", 256 * 1024,
+                                     4096, q ? 100 : 2000));
+  metrics.push_back(
+      measure_sendrecv_ring("sendrecv_ring_P8_4KiB", 8, 4096, q ? 200 : 5000));
+  for (int P : {4, 8, 10, 16}) {
+    const std::size_t bytes = 256 * 1024;
+    const int iters = q ? 5 : 100;
+    metrics.push_back(measure_bcast(
+        "bcast_native_P" + std::to_string(P) + "_256KiB", P, bytes, false, iters));
+    metrics.push_back(measure_bcast(
+        "bcast_tuned_P" + std::to_string(P) + "_256KiB", P, bytes, true, iters));
+  }
+
+  bench::write_bench_json(opt.json_path, "micro_runtime", metrics, q);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json selects the fixed regression suite; anything else goes to
+  // google-benchmark untouched (so --benchmark_filter etc. still work).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return run_json_suite(bench::parse_options(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

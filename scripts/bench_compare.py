@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate and compare bsb-bench-v1 JSON artifacts (BENCH_*.json).
+
+Usage:
+  bench_compare.py validate FILE
+      Check that FILE is a well-formed bsb-bench-v1 artifact.
+  bench_compare.py compare BASELINE NEW [--max-regress FRAC] [--min-speedup X]
+      Fail (exit 1) if any metric present in both files regressed in
+      ops/sec by more than FRAC (default 0.30, i.e. new >= 0.7x baseline).
+      With --min-speedup X, additionally require every shared metric to
+      reach at least X times the baseline ops/sec (used to assert a
+      claimed optimization actually landed).
+
+Exit codes: 0 ok, 1 validation/threshold failure, 2 usage error.
+
+The schema (written by bench::write_bench_json, documented in
+EXPERIMENTS.md):
+  { "schema": "bsb-bench-v1", "bench": str, "quick": bool,
+    "metrics": [ { "name": str, "ops_per_sec": num, "p50_us": num,
+                   "p99_us": num, "samples": int, "bytes": int,
+                   "ranks": int } ] }
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_METRIC_FIELDS = {
+    "name": str,
+    "ops_per_sec": (int, float),
+    "p50_us": (int, float),
+    "p99_us": (int, float),
+    "samples": int,
+    "bytes": int,
+    "ranks": int,
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def validate(doc, path):
+    errors = []
+    if doc.get("schema") != "bsb-bench-v1":
+        errors.append(f"schema is {doc.get('schema')!r}, expected 'bsb-bench-v1'")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append("missing/empty 'bench' name")
+    if not isinstance(doc.get("quick"), bool):
+        errors.append("'quick' must be a boolean")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        errors.append("'metrics' must be a non-empty list")
+        metrics = []
+    seen = set()
+    for i, m in enumerate(metrics):
+        if not isinstance(m, dict):
+            errors.append(f"metrics[{i}] is not an object")
+            continue
+        for field, types in REQUIRED_METRIC_FIELDS.items():
+            if field not in m:
+                errors.append(f"metrics[{i}] missing field {field!r}")
+            elif not isinstance(m[field], types) or isinstance(m[field], bool):
+                errors.append(f"metrics[{i}].{field} has wrong type")
+        name = m.get("name")
+        if name in seen:
+            errors.append(f"duplicate metric name {name!r}")
+        seen.add(name)
+        if isinstance(m.get("ops_per_sec"), (int, float)) and m["ops_per_sec"] <= 0:
+            errors.append(f"metrics[{i}].ops_per_sec must be > 0 (got {m['ops_per_sec']})")
+        if isinstance(m.get("samples"), int) and m["samples"] <= 0:
+            errors.append(f"metrics[{i}].samples must be > 0")
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"{path}: valid bsb-bench-v1 ({doc['bench']}, {len(metrics)} metrics)")
+
+
+def metric_map(doc):
+    return {m["name"]: m for m in doc["metrics"]}
+
+
+def compare(base_doc, new_doc, base_path, new_path, max_regress, min_speedup):
+    base, new = metric_map(base_doc), metric_map(new_doc)
+    shared = [n for n in base if n in new]
+    if not shared:
+        sys.exit("error: the two artifacts share no metric names")
+    missing = [n for n in base if n not in new]
+    if missing:
+        print(f"note: {len(missing)} baseline metric(s) absent from "
+              f"{new_path}: {', '.join(sorted(missing))}", file=sys.stderr)
+    failures = []
+    width = max(len(n) for n in shared)
+    print(f"{'metric':<{width}}  {'base ops/s':>12}  {'new ops/s':>12}  "
+          f"{'ratio':>7}  {'p50 µs':>9}  {'p99 µs':>9}")
+    for name in shared:
+        b, n = base[name], new[name]
+        ratio = n["ops_per_sec"] / b["ops_per_sec"] if b["ops_per_sec"] else 0.0
+        flag = ""
+        if ratio < 1.0 - max_regress:
+            flag = "  REGRESSION"
+            failures.append(f"{name}: ops/sec {ratio:.2f}x baseline "
+                            f"(allowed >= {1.0 - max_regress:.2f}x)")
+        if min_speedup is not None and ratio < min_speedup:
+            flag = "  BELOW TARGET"
+            failures.append(f"{name}: ops/sec {ratio:.2f}x baseline "
+                            f"(required >= {min_speedup:.2f}x)")
+        print(f"{name:<{width}}  {b['ops_per_sec']:>12.0f}  "
+              f"{n['ops_per_sec']:>12.0f}  {ratio:>6.2f}x  "
+              f"{n['p50_us']:>9.2f}  {n['p99_us']:>9.2f}{flag}")
+    if failures:
+        print(f"\nbench_compare: {len(failures)} threshold failure(s) "
+              f"({base_path} -> {new_path}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_compare: ok ({len(shared)} metrics within thresholds)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    v = sub.add_parser("validate")
+    v.add_argument("file")
+    c = sub.add_parser("compare")
+    c.add_argument("baseline")
+    c.add_argument("new")
+    c.add_argument("--max-regress", type=float, default=0.30,
+                   help="max allowed fractional ops/sec regression (default 0.30)")
+    c.add_argument("--min-speedup", type=float, default=None,
+                   help="require every shared metric to reach this ops/sec "
+                        "multiple of the baseline")
+    args = parser.parse_args()
+    if args.cmd == "validate":
+        doc = load(args.file)
+        validate(doc, args.file)
+    else:
+        base_doc, new_doc = load(args.baseline), load(args.new)
+        validate(base_doc, args.baseline)
+        validate(new_doc, args.new)
+        compare(base_doc, new_doc, args.baseline, args.new,
+                args.max_regress, args.min_speedup)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,7 +2,10 @@
 # Sanitized gate: build everything with -fsanitize=address,undefined (the
 # `asan` CMake preset), run the tier-1 test suite, then a 30-second bounded
 # differential fuzz pass (docs/FUZZING.md). Any sanitizer report, test
-# failure, or fuzz discrepancy fails the script.
+# failure, or fuzz discrepancy fails the script. A second build under
+# -fsanitize=thread (the `tsan` preset) then runs the thread-backend tier-1
+# tests — the mpisim hot path uses lock-free completion flags and targeted
+# wakeups, so every change there must also be TSan-clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,5 +23,15 @@ ctest --preset asan -j "${JOBS}"
 echo "==== bounded fuzz pass (30s, sanitized) ===="
 build-asan/tools/bsb-fuzz --time-budget=30 --cases=1000000
 build-asan/tools/bsb-fuzz --selftest
+
+echo "==== TSan pass (thread backend + chaos + matching) ===="
+cmake --preset tsan
+cmake --build --preset tsan --target test_mpisim test_matching test_chaos \
+  bsb-fuzz -j "${JOBS}"
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+build-tsan/tests/test_mpisim
+build-tsan/tests/test_matching
+build-tsan/tests/test_chaos
+build-tsan/tools/bsb-fuzz --time-budget=15 --cases=1000000
 
 echo "check.sh: all green"

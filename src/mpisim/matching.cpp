@@ -1,0 +1,138 @@
+#include "mpisim/matching.hpp"
+
+#include <algorithm>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::mpisim::detail {
+
+namespace {
+
+/// Gap between consecutive position keys; a reorder insert bisects a gap,
+/// so ~20 same-gap inserts force one O(n) renumber (reorder jumps are <= 4
+/// and land near the tail, so this is rare in practice).
+constexpr std::uint64_t kPosGap = std::uint64_t{1} << 20;
+
+}  // namespace
+
+// ------------------------------------------------------------ ArrivalQueue
+
+void ArrivalQueue::renumber() {
+  std::uint64_t pos = kPosGap;
+  for (Arrival& a : list_) {
+    a.pos = pos;
+    pos += kPosGap;
+  }
+}
+
+void ArrivalQueue::enqueue(Arrival&& arr, std::size_t jump) {
+  auto pos = list_.end();
+  while (jump > 0 && pos != list_.begin() && std::prev(pos)->src != arr.src) {
+    --pos;
+    --jump;
+  }
+  if (pos == list_.end()) {
+    arr.pos = (list_.empty() ? 0 : list_.back().pos) + kPosGap;
+  } else {
+    std::uint64_t hi = pos->pos;
+    std::uint64_t lo = pos == list_.begin() ? 0 : std::prev(pos)->pos;
+    if (hi - lo < 2) {
+      renumber();  // list iterators stay valid; re-read the fresh keys
+      hi = pos->pos;
+      lo = pos == list_.begin() ? 0 : std::prev(pos)->pos;
+    }
+    arr.pos = lo + (hi - lo) / 2;
+  }
+  const auto it = list_.insert(pos, std::move(arr));
+  buckets_[bucket_key(it->src, it->tag)].push_back(it);
+}
+
+ArrivalQueue::iterator ArrivalQueue::find(int src, int tag) {
+  if (list_.empty()) return list_.end();
+  if (src == kAnySource && tag == kAnyTag) return list_.begin();
+  if (src != kAnySource && tag != kAnyTag) {
+    const auto b = buckets_.find(bucket_key(src, tag));
+    return b == buckets_.end() ? list_.end() : b->second.front();
+  }
+  // One-sided wildcard: scan bucket fronts (one per distinct live
+  // (src, tag) pair — far fewer than queued messages) for the earliest
+  // scan-order match.
+  iterator best = list_.end();
+  for (auto& [key, q] : buckets_) {
+    const int bsrc = static_cast<std::int32_t>(key >> 32);
+    const int btag = static_cast<std::int32_t>(key & 0xffffffffu);
+    if (!matches(src, tag, bsrc, btag)) continue;
+    const iterator front = q.front();
+    if (best == list_.end() || front->pos < best->pos) best = front;
+  }
+  return best;
+}
+
+Arrival ArrivalQueue::take(iterator it) {
+  const auto b = buckets_.find(bucket_key(it->src, it->tag));
+  BSB_ASSERT(b != buckets_.end(), "ArrivalQueue: bucket missing on take");
+  auto& q = b->second;
+  const auto qit = std::find(q.begin(), q.end(), it);
+  BSB_ASSERT(qit != q.end(), "ArrivalQueue: arrival missing from its bucket");
+  q.erase(qit);
+  if (q.empty()) buckets_.erase(b);
+  Arrival out = std::move(*it);
+  list_.erase(it);
+  return out;
+}
+
+bool ArrivalQueue::cancel(const SendCompletion* completion, int src, int tag) {
+  const auto b = buckets_.find(bucket_key(src, tag));
+  if (b == buckets_.end()) return false;
+  for (const iterator it : b->second) {
+    if (it->completion.get() == completion) {
+      take(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ PendingIndex
+
+void PendingIndex::post(std::shared_ptr<PendingRecv> pr) {
+  pr->seq = next_seq_++;
+  buckets_[bucket_key(pr->src, pr->tag)].push_back(std::move(pr));
+  ++count_;
+}
+
+std::shared_ptr<PendingRecv> PendingIndex::match(int src, int tag) {
+  if (count_ == 0) return nullptr;
+  const std::uint64_t keys[4] = {
+      bucket_key(src, tag), bucket_key(src, kAnyTag),
+      bucket_key(kAnySource, tag), bucket_key(kAnySource, kAnyTag)};
+  std::deque<std::shared_ptr<PendingRecv>>* best = nullptr;
+  for (const std::uint64_t key : keys) {
+    const auto b = buckets_.find(key);
+    if (b == buckets_.end()) continue;
+    if (!best || b->second.front()->seq < best->front()->seq) best = &b->second;
+  }
+  if (!best) return nullptr;
+  std::shared_ptr<PendingRecv> pr = std::move(best->front());
+  best->pop_front();
+  if (best->empty()) buckets_.erase(bucket_key(pr->src, pr->tag));
+  --count_;
+  return pr;
+}
+
+bool PendingIndex::cancel(const PendingRecv* pr) {
+  const auto b = buckets_.find(bucket_key(pr->src, pr->tag));
+  if (b == buckets_.end()) return false;
+  auto& q = b->second;
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (it->get() == pr) {
+      q.erase(it);
+      if (q.empty()) buckets_.erase(b);
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bsb::mpisim::detail

@@ -1,0 +1,153 @@
+// Bucketed matching indexes for the thread backend's mailboxes.
+//
+// The original mailbox was a flat deque scanned with find_if on every
+// isend/irecv/probe — O(queued messages) per operation, which dominates
+// funnel patterns (all-to-one) and fuzz worlds with deep unexpected
+// queues. These indexes make the hot cases O(1) while reproducing the
+// linear scan's match choice EXACTLY (tests/test_matching.cpp asserts
+// equivalence against a reference scan under randomized interleavings,
+// wildcards and fault-injected reordering):
+//
+//  * ArrivalQueue — unexpected messages, kept in "scan order": a master
+//    list ordered exactly as the old deque (including fault-injection
+//    reorder inserts) plus per-(src,tag) FIFO buckets of list iterators.
+//    Each node carries a 64-bit gap-numbered position key so wildcard
+//    lookups can compare bucket fronts in O(1); keys are renumbered (rare,
+//    amortized O(1)) when a reorder insert exhausts a gap. Because fault
+//    reordering never crosses two arrivals of the SAME source, a bucket's
+//    iterators are always in list order, so its front is its earliest.
+//
+//  * PendingIndex — posted receives, bucketed by their (src, tag) pattern
+//    (wildcards included as ordinary key values). A sender probes at most
+//    four buckets — (s,t), (s,*), (*,t), (*,*) — and takes the smallest
+//    post-sequence front: identical to scanning the old post-order deque.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"  // kAnySource / kAnyTag
+#include "comm/status.hpp"
+
+namespace bsb::mpisim::detail {
+
+inline bool matches(int want_src, int want_tag, int src, int tag) noexcept {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+/// Bucket key for a (src, tag) pair; wildcards (-1) participate as
+/// ordinary values on the pending side.
+inline std::uint64_t bucket_key(int src, int tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+/// Sender-side completion handle for rendezvous sends. `done` flips under
+/// the mailbox mutex with release ordering after `error` is final, so
+/// waiters may spin on it locklessly and read `error` after an acquire
+/// load. `waiters` (mutex-guarded) gates the targeted wakeup.
+struct SendCompletion {
+  std::atomic<bool> done{false};
+  std::condition_variable cv;  // paired with the mailbox mutex
+  int waiters = 0;             // guarded by the mailbox mutex
+  std::string error;           // non-empty => the match failed (truncation)
+};
+
+/// A message sitting in the destination's mailbox, not yet matched.
+struct Arrival {
+  int src = -1;
+  int tag = -1;
+  bool eager = true;
+  std::vector<std::byte> payload;              // eager copy (pooled)
+  std::span<const std::byte> src_view;         // rendezvous view
+  std::shared_ptr<SendCompletion> completion;  // rendezvous only
+  std::uint64_t pos = 0;                       // scan-order key (ArrivalQueue)
+  std::size_t size() const noexcept {
+    return eager ? payload.size() : src_view.size();
+  }
+};
+
+/// A posted receive waiting for a matching message. Completion protocol as
+/// for SendCompletion: status/error settle before the release store of
+/// `done`.
+struct PendingRecv {
+  int src = -1;  // may be kAnySource
+  int tag = -1;  // may be kAnyTag
+  std::span<std::byte> buf;
+  std::atomic<bool> done{false};
+  std::condition_variable cv;  // paired with the mailbox mutex
+  int waiters = 0;             // guarded by the mailbox mutex
+  std::string error;
+  Status status;
+  std::uint64_t seq = 0;  // post order, assigned by PendingIndex
+};
+
+/// Unexpected-message queue with O(1) exact matching and scan-order
+/// wildcard matching. NOT thread-safe; the owning mailbox's mutex guards it.
+class ArrivalQueue {
+ public:
+  using List = std::list<Arrival>;
+  using iterator = List::iterator;
+
+  bool empty() const noexcept { return list_.empty(); }
+  std::size_t size() const noexcept { return list_.size(); }
+  iterator end() noexcept { return list_.end(); }
+
+  /// Queue `arr`, jumping over at most `jump` trailing arrivals from OTHER
+  /// sources (fault-injected reordering). Never crosses an arrival from
+  /// the same source, so per-source non-overtaking order is preserved.
+  void enqueue(Arrival&& arr, std::size_t jump);
+
+  /// The first arrival in scan order matching (src, tag); wildcards
+  /// allowed. end() if none.
+  iterator find(int src, int tag);
+
+  /// Remove and return the arrival at `it`.
+  Arrival take(iterator it);
+
+  /// Remove the queued arrival advertising `completion` (an abandoned
+  /// rendezvous send). Returns false if it is no longer queued.
+  bool cancel(const SendCompletion* completion, int src, int tag);
+
+ private:
+  void renumber();
+
+  List list_;  // scan order (== the old deque order)
+  std::unordered_map<std::uint64_t, std::deque<iterator>> buckets_;
+};
+
+/// Posted-receive index with O(1) matching against a concrete (src, tag).
+/// NOT thread-safe; the owning mailbox's mutex guards it.
+class PendingIndex {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Register a posted receive (assigns its post-order `seq`).
+  void post(std::shared_ptr<PendingRecv> pr);
+
+  /// Remove and return the earliest-posted receive matching a message with
+  /// concrete (src, tag), or nullptr.
+  std::shared_ptr<PendingRecv> match(int src, int tag);
+
+  /// Remove an abandoned posted receive. Returns false if already matched
+  /// or cancelled.
+  bool cancel(const PendingRecv* pr);
+
+ private:
+  std::uint64_t next_seq_ = 0;
+  std::size_t count_ = 0;
+  std::unordered_map<std::uint64_t, std::deque<std::shared_ptr<PendingRecv>>>
+      buckets_;
+};
+
+}  // namespace bsb::mpisim::detail

@@ -13,10 +13,7 @@ namespace bsb::mpisim {
 
 namespace {
 
-bool matches(int want_src, int want_tag, int src, int tag) noexcept {
-  return (want_src == kAnySource || want_src == src) &&
-         (want_tag == kAnyTag || want_tag == tag);
-}
+using detail::matches;
 
 /// Per-message fault decisions, derived deterministically from the fault
 /// seed and the message identity (src, dst, tag, per-pair sequence number)
@@ -49,21 +46,6 @@ FaultDecisions roll_faults(const FaultConfig& f, int src, int dst, int tag,
   return d;
 }
 
-/// Queue `arr`, jumping over at most `jump` trailing arrivals from OTHER
-/// sources. Never crosses an arrival from the same source, so per-source
-/// non-overtaking order (the only cross-message order MPI guarantees) is
-/// preserved; only the inter-source order seen by wildcard receives moves.
-void enqueue_arrival(detail::Mailbox& box, detail::Arrival&& arr,
-                     std::size_t jump) {
-  auto pos = box.arrivals.end();
-  while (jump > 0 && pos != box.arrivals.begin() &&
-         std::prev(pos)->src != arr.src) {
-    --pos;
-    --jump;
-  }
-  box.arrivals.insert(pos, std::move(arr));
-}
-
 void copy_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
   if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
 }
@@ -74,20 +56,78 @@ std::chrono::steady_clock::time_point deadline_after(double seconds) {
              std::chrono::duration<double>(seconds));
 }
 
+/// Bounded busy-wait before parking on a condition variable. A matched
+/// message completes in ~the time of one memcpy, so the common case is won
+/// within a few thousand probes and the futex round trip (microseconds,
+/// plus a broadcast wakeup under the old notify_all scheme) is skipped
+/// entirely. Oversubscribed worlds lose at most this bounded spin.
+constexpr int kSpinProbes = 4096;
+
+bool spin_until_done(const std::atomic<bool>& done) noexcept {
+  for (int i = 0; i < kSpinProbes; ++i) {
+    if (done.load(std::memory_order_acquire)) return true;
+    if ((i & 63) == 63) std::this_thread::yield();
+  }
+  return done.load(std::memory_order_acquire);
+}
+
+/// Mark a pending receive complete and wake exactly its waiters.
+/// Caller holds the mailbox mutex; error/status must already be final.
+void complete(detail::PendingRecv& pr) noexcept {
+  pr.done.store(true, std::memory_order_release);
+  if (pr.waiters > 0) pr.cv.notify_all();
+}
+
+void complete(detail::SendCompletion& sc) noexcept {
+  sc.done.store(true, std::memory_order_release);
+  if (sc.waiters > 0) sc.cv.notify_all();
+}
+
+std::string truncation_message(std::size_t msg_bytes, std::size_t buf_bytes,
+                               int src, int tag) {
+  return "truncation: " + std::to_string(msg_bytes) + "-byte message into " +
+         std::to_string(buf_bytes) + "-byte receive buffer (src " +
+         std::to_string(src) + ", tag " + std::to_string(tag) + ")";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Request
 
 struct Request::State {
-  // Exactly one of `recv` / `sendc` is set; `box` is the mailbox whose
-  // condition variable announces completion.
+  // Exactly one of `recv` / `sendc` is set; completion is announced on
+  // that object's own condition variable (paired with `box->mu`).
   std::shared_ptr<detail::PendingRecv> recv;
   std::shared_ptr<detail::SendCompletion> sendc;
   detail::Mailbox* box = nullptr;
+  int peer_src = -1;  // rendezvous send identity, for cancellation
+  int peer_tag = -1;
   double watchdog_seconds = 60.0;
-  Status immediate;   // for operations that completed inline
+  Status immediate;  // for operations that completed inline
   bool inline_done = false;
+
+  ~State();
 };
+
+// Abandoning the last handle to an incomplete operation cancels it (see
+// thread_comm.hpp). Without this, a destroyed rendezvous isend leaves a
+// span over a dead buffer advertised in the peer's mailbox, and a later
+// matching irecv memcpys from freed memory.
+Request::State::~State() {
+  if (inline_done || box == nullptr) return;
+  if (recv && !recv->done.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lk(box->mu);
+    if (!recv->done.load(std::memory_order_relaxed)) {
+      box->pending.cancel(recv.get());
+    }
+  }
+  if (sendc && !sendc->done.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lk(box->mu);
+    if (!sendc->done.load(std::memory_order_relaxed)) {
+      box->arrivals.cancel(sendc.get(), peer_src, peer_tag);
+    }
+  }
+}
 
 void Request::wait() { (void)wait_status(); }
 
@@ -96,18 +136,26 @@ Status Request::wait_status() {
   State& s = *state_;
   if (s.inline_done) return s.immediate;
   BSB_ASSERT(s.box != nullptr, "Request: incomplete state without mailbox");
-  std::unique_lock<std::mutex> lk(s.box->mu);
-  const auto deadline = deadline_after(s.watchdog_seconds);
-  auto done = [&] {
-    if (s.recv) return s.recv->done;
-    return s.sendc->done;
-  };
-  while (!done()) {
-    if (s.box->cv.wait_until(lk, deadline) == std::cv_status::timeout && !done()) {
-      throw DeadlockError(
-          "request: watchdog expired waiting for a matching peer operation");
+  std::atomic<bool>& done =
+      s.recv ? s.recv->done : s.sendc->done;
+  if (!spin_until_done(done)) {
+    std::unique_lock<std::mutex> lk(s.box->mu);
+    const auto deadline = deadline_after(s.watchdog_seconds);
+    auto& cv = s.recv ? s.recv->cv : s.sendc->cv;
+    int& waiters = s.recv ? s.recv->waiters : s.sendc->waiters;
+    ++waiters;
+    while (!done.load(std::memory_order_acquire)) {
+      if (cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+          !done.load(std::memory_order_acquire)) {
+        --waiters;
+        throw DeadlockError(
+            "request: watchdog expired waiting for a matching peer operation");
+      }
     }
+    --waiters;
   }
+  // done was set with release ordering after error/status settled, so the
+  // acquire load above makes these reads race-free without the lock.
   if (s.recv) {
     if (!s.recv->error.empty()) throw TruncationError(s.recv->error);
     return s.recv->status;
@@ -116,24 +164,70 @@ Status Request::wait_status() {
   return {};
 }
 
+bool Request::wait_for(double seconds) const {
+  if (!state_) return true;
+  State& s = *state_;
+  if (s.inline_done) return true;
+  std::atomic<bool>& done = s.recv ? s.recv->done : s.sendc->done;
+  if (done.load(std::memory_order_acquire)) return true;
+  std::unique_lock<std::mutex> lk(s.box->mu);
+  const auto deadline = deadline_after(seconds);
+  auto& cv = s.recv ? s.recv->cv : s.sendc->cv;
+  int& waiters = s.recv ? s.recv->waiters : s.sendc->waiters;
+  ++waiters;
+  while (!done.load(std::memory_order_acquire)) {
+    if (cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
+  }
+  --waiters;
+  return done.load(std::memory_order_acquire);
+}
+
 bool Request::test() const {
   if (!state_) return true;
   const State& s = *state_;
   if (s.inline_done) return true;
-  const std::lock_guard<std::mutex> lk(s.box->mu);
-  return s.recv ? s.recv->done : s.sendc->done;
+  const std::atomic<bool>& done = s.recv ? s.recv->done : s.sendc->done;
+  if (!done.load(std::memory_order_acquire)) return false;
+  // Completed: surface a completion error here rather than letting the
+  // caller treat "true" as success and destroy the request with the
+  // error unobserved (error is final before the release store of done).
+  const std::string& error = s.recv ? s.recv->error : s.sendc->error;
+  if (!error.empty()) throw TruncationError(error);
+  return true;
 }
 
 void wait_all(std::span<Request> requests) {
   std::exception_ptr first_error;
+  std::size_t abandoned = 0;
   for (Request& r : requests) {
-    try {
-      r.wait();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+    if (!first_error) {
+      try {
+        r.wait();
+      } catch (...) {
+        first_error = std::current_exception();
+      }
+    } else {
+      // After a failure, peers have likely errored or died: do not sit out
+      // a full watchdog period per remaining request. Drain briefly;
+      // whatever stays incomplete is cancelled when the caller drops it.
+      const double drain = std::min(
+          1.0, r.state_ ? r.state_->watchdog_seconds : 1.0);
+      if (!r.wait_for(drain)) ++abandoned;
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (!first_error) return;
+  if (abandoned == 0) std::rethrow_exception(first_error);
+  const std::string suffix = " [wait_all: " + std::to_string(abandoned) +
+                             " request(s) abandoned after the first failure]";
+  try {
+    std::rethrow_exception(first_error);
+  } catch (const TruncationError& e) {
+    throw TruncationError(e.what() + suffix);
+  } catch (const DeadlockError& e) {
+    throw DeadlockError(e.what() + suffix);
+  } catch (...) {
+    throw;  // unknown type: rethrow unmodified
+  }
 }
 
 // ------------------------------------------------------------- ThreadComm
@@ -156,35 +250,26 @@ Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
   const std::lock_guard<std::mutex> lk(box.mu);
 
   // 1. A matching receive is already posted: deliver straight into it.
-  const auto it = std::find_if(
-      box.pending.begin(), box.pending.end(), [&](const auto& pr) {
-        return matches(pr->src, pr->tag, rank_, tag);
-      });
-  if (it != box.pending.end()) {
-    const std::shared_ptr<detail::PendingRecv> pr = *it;
-    box.pending.erase(it);
+  if (const std::shared_ptr<detail::PendingRecv> pr =
+          box.pending.match(rank_, tag)) {
     if (buf.size() > pr->buf.size()) {
-      pr->error = "truncation: " + std::to_string(buf.size()) +
-                  "-byte message into " + std::to_string(pr->buf.size()) +
-                  "-byte receive buffer (src " + std::to_string(rank_) +
-                  ", tag " + std::to_string(tag) + ")";
-      pr->done = true;
-      box.cv.notify_all();
+      pr->error = truncation_message(buf.size(), pr->buf.size(), rank_, tag);
+      complete(*pr);
       throw TruncationError(pr->error);
     }
     copy_bytes(pr->buf, buf);
     pr->status = Status{rank_, tag, buf.size()};
-    pr->done = true;
-    box.cv.notify_all();
+    complete(*pr);
     Request req;
     req.state_ = std::make_shared<Request::State>();
     req.state_->inline_done = true;
     return req;
   }
 
-  // 2. Eager: copy into the mailbox and complete immediately. Fault
-  //    injection may flip the protocol either way; both choices are legal
-  //    for a standard-mode send, so correct algorithms must survive both.
+  // 2. Eager: copy into the mailbox (pooled buffer) and complete
+  //    immediately. Fault injection may flip the protocol either way; both
+  //    choices are legal for a standard-mode send, so correct algorithms
+  //    must survive both.
   bool eager = buf.size() <= world_->config().eager_threshold;
   if (eager && fd.force_rendezvous) eager = false;
   if (!eager && fd.force_eager) eager = true;
@@ -193,9 +278,9 @@ Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
     arr.src = rank_;
     arr.tag = tag;
     arr.eager = true;
-    arr.payload.assign(buf.begin(), buf.end());
-    enqueue_arrival(box, std::move(arr), fd.reorder_jump);
-    box.cv.notify_all();
+    arr.payload = box.acquire_payload(buf);
+    box.arrivals.enqueue(std::move(arr), fd.reorder_jump);
+    if (box.probe_waiters > 0) box.cv.notify_all();
     Request req;
     req.state_ = std::make_shared<Request::State>();
     req.state_->inline_done = true;
@@ -214,9 +299,11 @@ Request ThreadComm::isend(std::span<const std::byte> buf, int dest, int tag) {
   req.state_ = std::make_shared<Request::State>();
   req.state_->sendc = arr.completion;
   req.state_->box = &box;
+  req.state_->peer_src = rank_;
+  req.state_->peer_tag = tag;
   req.state_->watchdog_seconds = world_->config().watchdog_seconds;
-  enqueue_arrival(box, std::move(arr), fd.reorder_jump);
-  box.cv.notify_all();
+  box.arrivals.enqueue(std::move(arr), fd.reorder_jump);
+  if (box.probe_waiters > 0) box.cv.notify_all();
   return req;
 }
 
@@ -229,36 +316,30 @@ Request ThreadComm::irecv(std::span<std::byte> buf, int source, int tag) {
   const std::lock_guard<std::mutex> lk(box.mu);
 
   // 1. A matching message already arrived: consume it now.
-  const auto it = std::find_if(
-      box.arrivals.begin(), box.arrivals.end(), [&](const detail::Arrival& a) {
-        return matches(source, tag, a.src, a.tag);
-      });
+  const auto it = box.arrivals.find(source, tag);
   if (it != box.arrivals.end()) {
-    detail::Arrival arr = std::move(*it);
-    box.arrivals.erase(it);
-    if (arr.size() > buf.size()) {
-      const std::string err = "truncation: " + std::to_string(arr.size()) +
-                              "-byte message into " + std::to_string(buf.size()) +
-                              "-byte receive buffer (src " + std::to_string(arr.src) +
-                              ", tag " + std::to_string(arr.tag) + ")";
+    detail::Arrival arr = box.arrivals.take(it);
+    const std::size_t msg_bytes = arr.size();
+    if (msg_bytes > buf.size()) {
+      const std::string err =
+          truncation_message(msg_bytes, buf.size(), arr.src, arr.tag);
       if (arr.completion) {
         arr.completion->error = err;
-        arr.completion->done = true;
-        box.cv.notify_all();
+        complete(*arr.completion);
       }
       throw TruncationError(err);
     }
     if (arr.eager) {
       copy_bytes(buf, arr.payload);
+      box.release_payload(std::move(arr.payload));
     } else {
       copy_bytes(buf, arr.src_view);
-      arr.completion->done = true;
-      box.cv.notify_all();
+      complete(*arr.completion);
     }
     Request req;
     req.state_ = std::make_shared<Request::State>();
     req.state_->inline_done = true;
-    req.state_->immediate = Status{arr.src, arr.tag, arr.size()};
+    req.state_->immediate = Status{arr.src, arr.tag, msg_bytes};
     return req;
   }
 
@@ -267,7 +348,7 @@ Request ThreadComm::irecv(std::span<std::byte> buf, int source, int tag) {
   pr->src = source;
   pr->tag = tag;
   pr->buf = buf;
-  box.pending.push_back(pr);
+  box.pending.post(pr);
   Request req;
   req.state_ = std::make_shared<Request::State>();
   req.state_->recv = std::move(pr);
@@ -281,10 +362,7 @@ std::optional<Status> ThreadComm::iprobe(int source, int tag) {
               "probe: source out of range");
   detail::Mailbox& box = world_->mailbox(rank_);
   const std::lock_guard<std::mutex> lk(box.mu);
-  const auto it = std::find_if(
-      box.arrivals.begin(), box.arrivals.end(), [&](const detail::Arrival& a) {
-        return matches(source, tag, a.src, a.tag);
-      });
+  const auto it = box.arrivals.find(source, tag);
   if (it == box.arrivals.end()) return std::nullopt;
   return Status{it->src, it->tag, it->size()};
 }
@@ -296,18 +374,20 @@ Status ThreadComm::probe(int source, int tag) {
   std::unique_lock<std::mutex> lk(box.mu);
   const auto deadline = deadline_after(world_->config().watchdog_seconds);
   auto scan = [&]() -> const detail::Arrival* {
-    const auto it = std::find_if(
-        box.arrivals.begin(), box.arrivals.end(), [&](const detail::Arrival& a) {
-          return matches(source, tag, a.src, a.tag);
-        });
+    const auto it = box.arrivals.find(source, tag);
     return it == box.arrivals.end() ? nullptr : &*it;
   };
+  if (const detail::Arrival* a = scan()) return Status{a->src, a->tag, a->size()};
+  ++box.probe_waiters;
   while (true) {
-    if (const detail::Arrival* a = scan()) return Status{a->src, a->tag, a->size()};
-    if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-      if (const detail::Arrival* a = scan()) {
-        return Status{a->src, a->tag, a->size()};
-      }
+    const bool timed_out =
+        box.cv.wait_until(lk, deadline) == std::cv_status::timeout;
+    if (const detail::Arrival* a = scan()) {
+      --box.probe_waiters;
+      return Status{a->src, a->tag, a->size()};
+    }
+    if (timed_out) {
+      --box.probe_waiters;
       throw DeadlockError("probe: watchdog expired; no matching message arrived");
     }
   }

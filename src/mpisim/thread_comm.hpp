@@ -14,6 +14,13 @@ namespace bsb::mpisim {
 
 /// Handle for a nonblocking operation. Copyable (shared state); wait() may
 /// be called once per logical completion; test() polls.
+///
+/// Abandoning an incomplete request (destroying the last handle without
+/// wait()/test() observing completion) CANCELS the operation: a pending
+/// rendezvous send withdraws its advertisement from the peer's mailbox (so
+/// no receiver can later copy from a dead buffer) and a pending receive is
+/// unposted. As in MPI, abandoning an in-flight operation is a program
+/// error; cancellation just makes it fail safe instead of corrupt memory.
 class Request {
  public:
   Request() = default;  // empty request: already complete
@@ -24,20 +31,30 @@ class Request {
   /// wait(), returning the receive Status (empty Status for sends).
   Status wait_status();
 
-  /// True iff the operation has completed (does not throw on error; the
-  /// error is reported by wait()).
+  /// True iff the operation has completed. A completion error (e.g.
+  /// truncation) is THROWN from the test() call that first observes
+  /// completion — returning plain `true` and relying on a later
+  /// wait_status() would let callers silently drop the error.
   bool test() const;
 
  private:
   friend class ThreadComm;
+  friend void wait_all(std::span<Request> requests);
+
+  /// Wait until completion or `seconds` elapse; true iff complete.
+  /// Does not throw the operation's error (used by wait_all's drain).
+  bool wait_for(double seconds) const;
 
   struct State;
   std::shared_ptr<State> state_;
 };
 
 /// Block until every request in `requests` completes (MPI_Waitall).
-/// Throws the first error encountered (after attempting all waits, so no
-/// request is left dangling on the error path).
+/// Throws the first error encountered. Remaining requests are drained with
+/// a short bounded timeout after the first failure — a fault must not
+/// stall the caller for N full watchdog periods — and the count of
+/// still-incomplete (abandoned, hence cancelled on destruction) requests
+/// is appended to the rethrown error message.
 void wait_all(std::span<Request> requests);
 
 class ThreadComm final : public Comm {

@@ -10,6 +10,42 @@
 
 namespace bsb::mpisim {
 
+namespace detail {
+
+namespace {
+// Retention caps for the per-mailbox payload slab: enough to keep steady
+// funnel traffic allocation-free, small enough that 64-rank fuzz worlds
+// stay cheap (worst case ~8 MiB per mailbox).
+constexpr std::size_t kPoolMaxBuffers = 64;
+constexpr std::size_t kPoolMaxBytes = 8u << 20;
+constexpr std::size_t kPoolMaxBufferBytes = 4u << 20;
+}  // namespace
+
+std::vector<std::byte> Mailbox::acquire_payload(std::span<const std::byte> src) {
+  std::vector<std::byte> buf;
+  if (!payload_pool.empty()) {
+    buf = std::move(payload_pool.back());
+    payload_pool.pop_back();
+    payload_pool_bytes -= buf.capacity();
+  }
+  buf.assign(src.begin(), src.end());
+  return buf;
+}
+
+void Mailbox::release_payload(std::vector<std::byte>&& payload) noexcept {
+  const std::size_t cap = payload.capacity();
+  if (cap == 0 || cap > kPoolMaxBufferBytes ||
+      payload_pool.size() >= kPoolMaxBuffers ||
+      payload_pool_bytes + cap > kPoolMaxBytes) {
+    return;  // payload freed on scope exit
+  }
+  payload.clear();
+  payload_pool_bytes += cap;
+  payload_pool.push_back(std::move(payload));
+}
+
+}  // namespace detail
+
 World::World(int nranks, WorldConfig cfg) : nranks_(nranks), cfg_(cfg) {
   BSB_REQUIRE(nranks > 0, "World: nranks must be positive");
   BSB_REQUIRE(cfg.watchdog_seconds > 0, "World: watchdog must be positive");

@@ -17,7 +17,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,6 +24,7 @@
 #include <vector>
 
 #include "comm/status.hpp"
+#include "mpisim/matching.hpp"
 
 namespace bsb::mpisim {
 
@@ -76,40 +76,29 @@ struct PairStats {
 
 namespace detail {
 
-/// Sender-side completion handle for rendezvous sends.
-struct SendCompletion {
-  bool done = false;
-  std::string error;  // non-empty => the match failed (truncation)
-};
-
-/// A message sitting in the destination's mailbox, not yet matched.
-struct Arrival {
-  int src = -1;
-  int tag = -1;
-  bool eager = true;
-  std::vector<std::byte> payload;                    // eager copy
-  std::span<const std::byte> src_view;               // rendezvous view
-  std::shared_ptr<SendCompletion> completion;        // rendezvous only
-  std::size_t size() const noexcept {
-    return eager ? payload.size() : src_view.size();
-  }
-};
-
-/// A posted receive waiting for a matching message.
-struct PendingRecv {
-  int src = -1;  // may be kAnySource
-  int tag = -1;  // may be kAnyTag
-  std::span<std::byte> buf;
-  bool done = false;
-  std::string error;
-  Status status;
-};
+// SendCompletion, Arrival, PendingRecv, ArrivalQueue and PendingIndex live
+// in mpisim/matching.hpp (bucketed matching, testable in isolation).
 
 struct Mailbox {
   std::mutex mu;
+  /// Announces new arrivals to blocked probe() calls only; request
+  /// completion is signalled on the per-request condition variables
+  /// (SendCompletion::cv / PendingRecv::cv), so a message delivery wakes
+  /// exactly the thread(s) waiting on it.
   std::condition_variable cv;
-  std::deque<Arrival> arrivals;
-  std::deque<std::shared_ptr<PendingRecv>> pending;
+  int probe_waiters = 0;  // guarded by mu
+  ArrivalQueue arrivals;
+  PendingIndex pending;
+
+  /// Slab of retired eager payload buffers, reused to keep the eager hot
+  /// path allocation-free in steady state. Guarded by mu.
+  std::vector<std::vector<std::byte>> payload_pool;
+  std::size_t payload_pool_bytes = 0;
+
+  /// A buffer holding a copy of `src` (pooled capacity when available).
+  std::vector<std::byte> acquire_payload(std::span<const std::byte> src);
+  /// Return a consumed eager payload to the pool (bounded; may free it).
+  void release_payload(std::vector<std::byte>&& payload) noexcept;
 };
 
 }  // namespace detail

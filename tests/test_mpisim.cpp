@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -193,6 +195,11 @@ TEST(Truncation, EagerRaisesAtReceiver) {
     if (comm.rank() == 0) {
       comm.send(bytes_of({1, 2, 3, 4}), 1, 0);
     } else {
+      // Wait until the eager message is buffered before receiving, so the
+      // mismatch is detected at match time on the RECEIVE side. If the
+      // receive were posted first, the error would (correctly) be raised
+      // at the sender instead — see PostedReceiveRaisesAtSender.
+      while (!comm.iprobe(0, 0)) std::this_thread::yield();
       std::vector<std::byte> small(2);
       EXPECT_THROW(comm.recv(small, 0, 0), TruncationError);
     }
@@ -287,6 +294,113 @@ TEST(Requests, EmptyRequestIsComplete) {
   Request r;
   EXPECT_TRUE(r.test());
   EXPECT_NO_THROW(r.wait());
+}
+
+// Regression: test() used to report a truncation-failed request as simply
+// "done", silently dropping the stored error unless the caller also called
+// wait_status() — test() + destruction swallowed the TruncationError.
+// test() must surface the completion error itself.
+TEST(Requests, TestSurfacesTruncationError) {
+  WorldConfig cfg;
+  cfg.watchdog_seconds = 20;
+  World world(2, cfg);
+  std::atomic<bool> posted{false};
+  world.run([&](ThreadComm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<std::byte> small(2);
+      Request r = comm.irecv(small, 0, 0);
+      posted.store(true);
+      bool threw = false;
+      for (;;) {
+        try {
+          if (r.test()) break;  // old contract: true here, error dropped
+        } catch (const TruncationError&) {
+          threw = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      EXPECT_TRUE(threw) << "test() completed without surfacing the error";
+    } else {
+      while (!posted.load()) std::this_thread::yield();
+      std::vector<std::byte> big(10);
+      EXPECT_THROW(comm.send(big, 1, 0), TruncationError);
+    }
+  });
+}
+
+// Regression: a rendezvous isend advertises a span over the caller's
+// buffer into the destination mailbox. Destroying the Request without
+// wait() used to leave that span dangling — a later irecv would memcpy
+// from freed memory (ASan: heap-use-after-free). The destructor must
+// cancel the advertisement, so the peer sees nothing (and a recv for it
+// hits the watchdog instead of reading a dead buffer).
+TEST(Requests, AbandonedRendezvousSendIsCancelled) {
+  WorldConfig cfg;
+  cfg.eager_threshold = 4;  // 64-byte message goes rendezvous
+  cfg.watchdog_seconds = 0.3;
+  World world(2, cfg);
+  EXPECT_THROW(world.run([](ThreadComm& comm) {
+                 if (comm.rank() == 0) {
+                   {
+                     std::vector<std::byte> big(64);
+                     fill_pattern(big, 3);
+                     Request s = comm.isend(big, 1, 7);
+                     // abandoned: destroyed without wait(), then the
+                     // buffer itself dies
+                   }
+                   comm.barrier();
+                 } else {
+                   comm.barrier();
+                   EXPECT_FALSE(comm.iprobe(0, 7).has_value())
+                       << "abandoned rendezvous advertisement still visible";
+                   std::vector<std::byte> in(64);
+                   comm.recv(in, 0, 7);  // nothing advertised => watchdog
+                 }
+               }),
+               DeadlockError);
+}
+
+// Regression: wait_all used to sit out the FULL per-request watchdog on
+// every remaining request after the first failure (a single fault could
+// stall a fuzz run for N x 60 s). It must drain the rest with a short
+// bounded timeout and report how many were abandoned.
+TEST(Requests, WaitAllDrainsQuicklyAfterFirstFailure) {
+  WorldConfig cfg;
+  cfg.watchdog_seconds = 30;  // old behaviour: 3 x 30 s stall
+  World world(2, cfg);
+  std::atomic<bool> posted{false};
+  world.run([&](ThreadComm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> small(2);
+      std::vector<std::byte> bufs[3] = {std::vector<std::byte>(8),
+                                        std::vector<std::byte>(8),
+                                        std::vector<std::byte>(8)};
+      std::vector<Request> rs;
+      rs.push_back(comm.irecv(small, 1, 0));  // will fail: truncation
+      for (int i = 0; i < 3; ++i) {
+        rs.push_back(comm.irecv(bufs[i], 1, i + 1));  // never sent
+      }
+      posted.store(true);
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        wait_all(rs);
+        FAIL() << "expected TruncationError";
+      } catch (const TruncationError& e) {
+        EXPECT_NE(std::string(e.what()).find("3 request(s) abandoned"),
+                  std::string::npos)
+            << "abandonment not reported: " << e.what();
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_LT(elapsed, 15.0) << "wait_all stalled on abandoned requests";
+    } else {
+      while (!posted.load()) std::this_thread::yield();
+      std::vector<std::byte> big(10);
+      EXPECT_THROW(comm.send(big, 0, 0), TruncationError);
+    }
+  });
 }
 
 TEST(Barrier, Synchronizes) {
