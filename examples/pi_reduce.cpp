@@ -39,7 +39,8 @@ int main() {
       coll::allreduce(comm, std::span<std::int64_t>(tally), coll::SumOp{});
 
       if (comm.rank() == 0) {
-        const double pi = 4.0 * tally[0] / tally[1];
+        const double pi = 4.0 * static_cast<double>(tally[0]) /
+                          static_cast<double>(tally[1]);
         std::cout << "round " << round + 1 << ": " << tally[1] << " samples, pi ~ "
                   << pi << " (err " << std::fabs(pi - M_PI) << ")\n";
       }

@@ -11,6 +11,13 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+echo "==== strict build (-Werror -Wconversion) ===="
+cmake --preset strict
+cmake --build --preset strict -j "${JOBS}"
+
+echo "==== clang-tidy (skips when unavailable) ===="
+scripts/tidy.sh
+
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 
@@ -18,11 +25,18 @@ cmake --build --preset asan -j "${JOBS}"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=0"  # threads park in mailboxes at exit
 
-ctest --preset asan -j "${JOBS}"
+# The scale-labeled verifier test records multi-GB P=4096 schedules;
+# sanitizer shadow memory makes that pass disproportionately slow, and the
+# plain tier-1 ctest run covers it. Everything else runs sanitized.
+ctest --preset asan -j "${JOBS}" -LE scale
 
 echo "==== bounded fuzz pass (30s, sanitized) ===="
 build-asan/tools/bsb-fuzz --time-budget=30 --cases=1000000
 build-asan/tools/bsb-fuzz --selftest
+
+echo "==== static schedule proofs (sanitized) ===="
+build-asan/tools/bsb-verify --selftest
+build-asan/tools/bsb-verify --pmax=48
 
 echo "==== TSan pass (thread backend + chaos + matching) ===="
 cmake --preset tsan

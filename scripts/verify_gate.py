@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate on a bsb-verify JSON artifact.
+
+Usage: verify_gate.py VERIFY_JSON
+
+Checks the bsb-verify-v1 schema, requires zero failures (case-level and
+closed-form), and re-asserts the paper's anchor transfer counts
+(P=8: 56 -> 44, P=10: 90 -> 75). Exit 0 = gate passed.
+"""
+
+import json
+import sys
+
+SCHEMA = "bsb-verify-v1"
+PAPER_ANCHORS = {
+    "p8_native": 56,
+    "p8_tuned": 44,
+    "p10_native": 90,
+    "p10_tuned": 75,
+}
+REQUIRED_KEYS = [
+    "schema",
+    "pmax",
+    "sizes",
+    "eager_thresholds",
+    "cases",
+    "failures",
+    "proofs",
+    "schedule_ops",
+    "closed_form_failures",
+    "paper",
+    "per_variant",
+    "failed",
+    "elapsed_seconds",
+]
+
+
+def fail(msg: str) -> "int":
+    print(f"verify_gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            return fail(f"missing key '{key}'")
+    if doc["schema"] != SCHEMA:
+        return fail(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if doc["cases"] <= 0:
+        return fail("no cases were verified")
+    if doc["proofs"] <= 0:
+        return fail("no properties were proven")
+    if doc["failures"] != 0:
+        return fail(f"{doc['failures']} case failure(s): {doc['failed']}")
+    if doc["closed_form_failures"]:
+        return fail(f"closed-form failures: {doc['closed_form_failures']}")
+    for key, want in PAPER_ANCHORS.items():
+        got = doc["paper"].get(key)
+        if got != want:
+            return fail(f"paper anchor {key}: got {got}, expected {want}")
+    for name, stats in doc["per_variant"].items():
+        if stats["failures"] != 0:
+            return fail(f"variant {name}: {stats['failures']} failure(s)")
+    print(
+        f"verify_gate: ok — {doc['cases']} cases, {doc['proofs']} proofs, "
+        f"{doc['schedule_ops']} schedule ops, 0 failures"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

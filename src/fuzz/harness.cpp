@@ -76,8 +76,8 @@ HarnessReport run_fuzz(const HarnessOptions& opt, std::ostream& out) {
       << " messages, " << rep.failures << " failure(s) in " << rep.elapsed_seconds
       << "s";
   if (rep.elapsed_seconds > 0) {
-    out << " (" << static_cast<std::uint64_t>(rep.cases_run /
-                                              rep.elapsed_seconds)
+    out << " (" << static_cast<std::uint64_t>(
+                       static_cast<double>(rep.cases_run) / rep.elapsed_seconds)
         << " cases/s)";
   }
   out << "\n";

@@ -34,8 +34,6 @@ namespace bsb::fuzz {
 
 namespace {
 
-using RankBody = std::function<void(Comm&, std::span<std::byte>)>;
-
 core::RingPlanFn plan_fn_for(Sabotage sabotage) {
   if (sabotage == Sabotage::RingPlanStepOffByOne) {
     return [](int rel, int P) {
@@ -55,9 +53,9 @@ core::BcastConfig selector_config(const FuzzCase& c) {
   return cfg;
 }
 
-/// The per-rank program for the case's variant; identical code drives both
-/// the symbolic recording and the threaded execution.
-RankBody make_body(const FuzzCase& c, Sabotage sabotage) {
+}  // namespace
+
+RankBody make_rank_body(const FuzzCase& c, Sabotage sabotage) {
   const int root = c.root;
   switch (c.variant) {
     case Variant::BcastBinomial:
@@ -127,8 +125,10 @@ RankBody make_body(const FuzzCase& c, Sabotage sabotage) {
                                           buf.size() / comm.size());
       };
   }
-  BSB_ASSERT(false, "make_body: unknown variant");
+  BSB_ASSERT(false, "make_rank_body: unknown variant");
 }
+
+namespace {
 
 /// Pattern seed for the case's oracle; initial garbage uses its complement
 /// so untouched bytes are always detected.
@@ -285,7 +285,7 @@ bool sabotage_applies(const FuzzCase& c, Sabotage sabotage) noexcept {
 
 RunOutcome run_case(const FuzzCase& c, Sabotage sabotage) {
   RunOutcome out;
-  const RankBody body = make_body(c, sabotage);
+  const RankBody body = make_rank_body(c, sabotage);
 
   // Phase 1: symbolic. Catches miscounted/unpairable schedules without
   // spending watchdog time, which keeps the self-test and shrinking fast.

@@ -8,11 +8,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 
+#include "comm/comm.hpp"
 #include "fuzz/case.hpp"
 
 namespace bsb::fuzz {
+
+/// One rank's program for a fuzz case; identical code drives the symbolic
+/// recording, the threaded execution, and the static verifier.
+using RankBody = std::function<void(Comm&, std::span<std::byte>)>;
 
 /// Deliberate schedule corruption for the harness self-test: proves the
 /// detectors catch exactly the class of bug the pairing invariant guards
@@ -37,6 +44,11 @@ struct RunOutcome {
 /// True when `sabotage` can perturb this case at all (self-test cases must
 /// pick a tuned-ring variant).
 bool sabotage_applies(const FuzzCase& c, Sabotage sabotage) noexcept;
+
+/// The per-rank program for the case's variant (optionally sabotaged).
+/// Shared by the differential runner and the static schedule verifier so
+/// both analyze the same operation sequence.
+RankBody make_rank_body(const FuzzCase& c, Sabotage sabotage = Sabotage::None);
 
 RunOutcome run_case(const FuzzCase& c, Sabotage sabotage = Sabotage::None);
 

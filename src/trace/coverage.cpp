@@ -22,7 +22,13 @@ CoverageReport validate_coverage(const Schedule& sched, const MatchResult& m,
   BSB_REQUIRE(root >= 0 && root < P, "validate_coverage: root out of range");
 
   std::vector<RankState> st(P);
-  st[root].valid.insert({0, sched.nbytes});
+  if (opt.initial.empty()) {
+    st[root].valid.insert({0, sched.nbytes});
+  } else {
+    BSB_REQUIRE(static_cast<int>(opt.initial.size()) == P,
+                "validate_coverage: initial coverage size != nranks");
+    for (int r = 0; r < P; ++r) st[r].valid = opt.initial[r];
+  }
   std::vector<bool> msg_sent(m.msgs.size(), false);
 
   auto fail = [&](const std::string& why) {
@@ -66,7 +72,12 @@ CoverageReport validate_coverage(const Schedule& sched, const MatchResult& m,
            " that originate from offset " + std::to_string(msg.src_off) +
            " (misaligned delivery)");
     }
-    st[r].valid.insert({msg.dst_off, msg.dst_off + msg.bytes});
+    const Interval iv{msg.dst_off, msg.dst_off + msg.bytes};
+    const std::uint64_t already = st[r].valid.overlap(iv);
+    report.delivered_bytes += msg.bytes;
+    report.redundant_bytes += already;
+    if (msg.bytes > 0 && already == msg.bytes) ++report.redundant_msgs;
+    st[r].valid.insert(iv);
     return true;
   };
 

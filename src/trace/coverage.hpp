@@ -23,6 +23,10 @@ struct CoverageOptions {
   bool require_aligned = true;
   /// Require full final coverage on every rank (broadcast postcondition).
   bool require_full_final_coverage = true;
+  /// Bytes each rank holds valid BEFORE the schedule runs. Empty means the
+  /// broadcast default: the root holds [0, nbytes), everyone else nothing.
+  /// Allgather schedules pass their per-rank contribution blocks instead.
+  std::vector<IntervalSet> initial = {};
 };
 
 struct CoverageReport {
@@ -31,6 +35,14 @@ struct CoverageReport {
 
   /// Bytes each rank held valid when execution stopped.
   std::vector<IntervalSet> final_coverage;
+
+  /// Redundancy accounting: bytes delivered to a rank that already held
+  /// them (the waste the paper's tuned ring eliminates), and the number of
+  /// nonempty messages whose payload was ENTIRELY already held.
+  std::uint64_t redundant_bytes = 0;
+  std::uint64_t redundant_msgs = 0;
+  /// Total payload bytes delivered by all messages (redundant or not).
+  std::uint64_t delivered_bytes = 0;
 };
 
 /// Validate `sched` (already matched as `m`) for a broadcast rooted at

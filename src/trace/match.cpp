@@ -9,33 +9,65 @@ namespace bsb::trace {
 namespace {
 using ChannelKey = std::tuple<int, int, int>;  // src, dst, tag
 
-struct HalfRef {
-  int rank;  // the rank whose op list this half belongs to
+/// Identifies one send half; bytes/offsets are re-read from the schedule
+/// when the matching receive streams past, keeping the per-channel state
+/// small. Large schedules (P=4096 rings carry ~17M messages) are dominated
+/// by memory touched, so every bucket byte counts.
+struct SendRef {
+  int rank;
   int op;
-  std::uint64_t bytes_or_cap;
-  std::uint64_t off;
 };
+
+struct Channel {
+  std::uint32_t nsends = 0;
+  std::uint32_t nrecvs = 0;
+  std::uint32_t paired = 0;  // receives consumed during the pairing pass
+  std::vector<SendRef> send_refs;
+};
+
+std::string channel_name(const ChannelKey& k) {
+  return "channel (src=" + std::to_string(std::get<0>(k)) +
+         ", dst=" + std::to_string(std::get<1>(k)) +
+         ", tag=" + std::to_string(std::get<2>(k)) + ")";
+}
 }  // namespace
 
 MatchResult match_schedule(const Schedule& sched) {
-  std::map<ChannelKey, std::vector<HalfRef>> sends, recvs;
+  std::map<ChannelKey, Channel> channels;
 
+  // Pass 1: count both halves per channel so all storage is reserved
+  // exactly (no growth doubling) and imbalance is diagnosed up front.
+  for (int r = 0; r < sched.nranks; ++r) {
+    const auto& list = sched.ops[r];
+    for (const Op& op : list) {
+      if (op.has_send()) ++channels[{r, op.dst, op.send_tag}].nsends;
+      if (op.has_recv()) ++channels[{op.src, r, op.recv_tag}].nrecvs;
+    }
+  }
+  for (auto& [key, ch] : channels) {
+    if (ch.nsends != ch.nrecvs) {
+      throw ScheduleError("unbalanced " + channel_name(key) + ": " +
+                          std::to_string(ch.nsends) + " send(s) vs " +
+                          std::to_string(ch.nrecvs) + " receive(s)");
+    }
+    ch.send_refs.reserve(ch.nsends);
+  }
+
+  // Pass 2: collect send refs. Iterating rank-major preserves each
+  // channel's program order, because a channel's sends all come from one
+  // rank (its src).
   for (int r = 0; r < sched.nranks; ++r) {
     const auto& list = sched.ops[r];
     for (int i = 0; i < static_cast<int>(list.size()); ++i) {
       const Op& op = list[i];
       if (op.has_send()) {
-        sends[{r, op.dst, op.send_tag}].push_back(
-            {r, i, op.send_bytes, op.send_off});
-      }
-      if (op.has_recv()) {
-        recvs[{op.src, r, op.recv_tag}].push_back(
-            {r, i, op.recv_cap, op.recv_off});
+        channels.find({r, op.dst, op.send_tag})->second.send_refs.push_back({r, i});
       }
     }
   }
 
   MatchResult out;
+  out.msgs.reserve(sched.total_sends());
   out.send_msg_of.resize(sched.nranks);
   out.recv_msg_of.resize(sched.nranks);
   for (int r = 0; r < sched.nranks; ++r) {
@@ -43,51 +75,39 @@ MatchResult match_schedule(const Schedule& sched) {
     out.recv_msg_of[r].assign(sched.ops[r].size(), -1);
   }
 
-  auto channel_name = [](const ChannelKey& k) {
-    return "channel (src=" + std::to_string(std::get<0>(k)) +
-           ", dst=" + std::to_string(std::get<1>(k)) +
-           ", tag=" + std::to_string(std::get<2>(k)) + ")";
-  };
-
-  for (const auto& [key, slist] : sends) {
-    const auto rit = recvs.find(key);
-    const std::size_t nrecvs = rit == recvs.end() ? 0 : rit->second.size();
-    if (slist.size() != nrecvs) {
-      throw ScheduleError("unbalanced " + channel_name(key) + ": " +
-                          std::to_string(slist.size()) + " send(s) vs " +
-                          std::to_string(nrecvs) + " receive(s)");
-    }
-    for (std::size_t i = 0; i < slist.size(); ++i) {
-      const HalfRef& s = slist[i];
-      const HalfRef& v = rit->second[i];
-      if (s.bytes_or_cap > v.bytes_or_cap) {
+  // Pass 3: stream receives, pairing the i-th receive on a channel with
+  // the i-th send (MPI non-overtaking). A channel's receives all belong to
+  // one rank (its dst), so rank-major iteration again preserves order.
+  for (int r = 0; r < sched.nranks; ++r) {
+    const auto& list = sched.ops[r];
+    for (int i = 0; i < static_cast<int>(list.size()); ++i) {
+      const Op& op = list[i];
+      if (!op.has_recv()) continue;
+      const ChannelKey key{op.src, r, op.recv_tag};
+      Channel& ch = channels.find(key)->second;
+      const SendRef s = ch.send_refs[ch.paired];
+      const Op& sop = sched.ops[s.rank][s.op];
+      if (sop.send_bytes > op.recv_cap) {
         throw ScheduleError("truncation on " + channel_name(key) + ": send #" +
-                            std::to_string(i) + " carries " +
-                            std::to_string(s.bytes_or_cap) +
-                            " bytes into a " + std::to_string(v.bytes_or_cap) +
+                            std::to_string(ch.paired) + " carries " +
+                            std::to_string(sop.send_bytes) +
+                            " bytes into a " + std::to_string(op.recv_cap) +
                             "-byte receive");
       }
+      ++ch.paired;
       MatchedMsg m;
-      m.src = std::get<0>(key);
-      m.dst = std::get<1>(key);
-      m.tag = std::get<2>(key);
-      m.bytes = s.bytes_or_cap;
-      m.src_off = s.off;
-      m.dst_off = v.off;
+      m.src = s.rank;
+      m.dst = r;
+      m.tag = op.recv_tag;
+      m.bytes = sop.send_bytes;
+      m.src_off = sop.send_off;
+      m.dst_off = op.recv_off;
       m.src_op = s.op;
-      m.dst_op = v.op;
+      m.dst_op = i;
       const int id = static_cast<int>(out.msgs.size());
       out.msgs.push_back(m);
-      out.send_msg_of[m.src][m.src_op] = id;
-      out.recv_msg_of[m.dst][m.dst_op] = id;
-    }
-  }
-
-  // Receives with no send at all on their channel.
-  for (const auto& [key, rlist] : recvs) {
-    if (sends.find(key) == sends.end()) {
-      throw ScheduleError("unbalanced " + channel_name(key) + ": 0 send(s) vs " +
-                          std::to_string(rlist.size()) + " receive(s)");
+      out.send_msg_of[s.rank][s.op] = id;
+      out.recv_msg_of[r][i] = id;
     }
   }
 

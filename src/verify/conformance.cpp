@@ -1,0 +1,267 @@
+#include "verify/conformance.hpp"
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/math.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "comm/chunks.hpp"
+#include "comm/topology.hpp"
+#include "core/bcast.hpp"
+#include "core/transfer_analysis.hpp"
+
+namespace bsb::verify {
+
+namespace {
+
+using fuzz::FuzzCase;
+using fuzz::Variant;
+
+struct Redundancy {
+  std::uint64_t bytes = 0;
+  std::uint64_t msgs = 0;
+};
+
+/// Redundant traffic of the ENCLOSED ring running over binomial-scatter
+/// output: relative rank `rel` owns its whole subtree chunk block but the
+/// ring re-delivers every chunk except its own, so the block's other
+/// chunks arrive redundantly — one full message each when nonempty.
+Redundancy native_ring_redundancy(int P, std::uint64_t nbytes) {
+  const ChunkLayout layout(nbytes, P);
+  Redundancy red;
+  for (int rel = 0; rel < P; ++rel) {
+    red.bytes += coll::scatter_block_bytes(rel, layout) - layout.count(rel);
+    const int span = std::min(coll::scatter_subtree_span(rel, P), P - rel);
+    for (int c = rel + 1; c < rel + span; ++c) {
+      if (layout.count(c) > 0) ++red.msgs;
+    }
+  }
+  return red;
+}
+
+/// Redundant traffic of the recursive-doubling allgather running over
+/// binomial-scatter output (MPICH's native medium-message path): in round
+/// i, relative rank `rel` receives the 2^i-chunk block of its partner's
+/// subtree root; for i < log2(own subtree span) that block is inside the
+/// chunks `rel` already owns.
+Redundancy rd_redundancy(int P, std::uint64_t nbytes) {
+  BSB_REQUIRE(is_pow2(static_cast<std::uint64_t>(P)),
+              "rd_redundancy: P must be a power of two");
+  const ChunkLayout layout(nbytes, P);
+  Redundancy red;
+  for (int rel = 0; rel < P; ++rel) {
+    const int span = coll::scatter_subtree_span(rel, P);  // 2^k
+    for (int i = 0, mask = 1; mask < P; mask <<= 1, ++i) {
+      const int dst_tree_root = ((rel ^ mask) >> i) << i;
+      const int n = std::min(mask, P - dst_tree_root);
+      const std::uint64_t bytes = layout.range_count(dst_tree_root, n);
+      if (mask < span) {  // partner block lies inside the owned block
+        red.bytes += bytes;
+        if (bytes > 0) ++red.msgs;
+      }
+    }
+  }
+  return red;
+}
+
+std::uint64_t pipelined_sends(int P, std::uint64_t nbytes,
+                              std::uint64_t segment_bytes) {
+  if (P <= 1 || nbytes == 0) return 0;
+  const std::uint64_t seg = segment_bytes == 0 ? nbytes : segment_bytes;
+  const std::uint64_t segments = (nbytes + seg - 1) / seg;
+  return static_cast<std::uint64_t>(P - 1) * segments;
+}
+
+std::uint64_t smp_sends(const FuzzCase& c) {
+  const Topology topo(c.nranks, c.smp_cores_per_node, Placement::Block);
+  std::uint64_t total = 0;
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    const auto node_size =
+        static_cast<std::uint64_t>(topo.ranks_on_node(n).size());
+    if (node_size > 1) total += node_size - 1;  // intra-node binomial
+  }
+  const int L = topo.num_nodes();
+  if (L > 1) {  // leader phase: binomial scatter + tuned ring over L leaders
+    total += core::scatter_transfers(L, c.nbytes) + core::tuned_ring_transfers(L);
+  }
+  return total;
+}
+
+TransferExpectation bcast_algorithm_expectation(core::BcastAlgorithm algo,
+                                                const FuzzCase& c) {
+  const int P = c.nranks;
+  TransferExpectation e;
+  switch (algo) {
+    case core::BcastAlgorithm::Binomial:
+      e.total_sends = static_cast<std::uint64_t>(P - 1);
+      e.redundant_bytes = 0;
+      e.redundant_msgs = 0;
+      return e;
+    case core::BcastAlgorithm::ScatterRdAllgather: {
+      e.total_sends = core::scatter_transfers(P, c.nbytes) +
+                      static_cast<std::uint64_t>(P) *
+                          static_cast<std::uint64_t>(ceil_log2(
+                              static_cast<std::uint64_t>(P)));
+      const Redundancy red = rd_redundancy(P, c.nbytes);
+      e.redundant_bytes = red.bytes;
+      e.redundant_msgs = red.msgs;
+      return e;
+    }
+    case core::BcastAlgorithm::ScatterRingNative: {
+      e.total_sends =
+          core::scatter_transfers(P, c.nbytes) + core::native_ring_transfers(P);
+      const Redundancy red = native_ring_redundancy(P, c.nbytes);
+      e.redundant_bytes = red.bytes;
+      e.redundant_msgs = red.msgs;
+      return e;
+    }
+    case core::BcastAlgorithm::ScatterRingTuned:
+      e.total_sends =
+          core::scatter_transfers(P, c.nbytes) + core::tuned_ring_transfers(P);
+      e.redundant_bytes = 0;  // the paper's claim: zero re-shipped bytes
+      e.redundant_msgs = 0;
+      return e;
+  }
+  BSB_ASSERT(false, "bcast_algorithm_expectation: unknown algorithm");
+}
+
+core::BcastConfig selector_config(const FuzzCase& c) {
+  core::BcastConfig cfg;
+  cfg.smsg_limit = c.smsg_limit;
+  cfg.mmsg_limit = c.mmsg_limit;
+  cfg.use_tuned_ring = c.use_tuned_ring;
+  return cfg;
+}
+
+}  // namespace
+
+int ceil_log2(std::uint64_t n) noexcept {
+  int k = 0;
+  while ((std::uint64_t{1} << k) < n) ++k;
+  return k;
+}
+
+bool dataflow_checkable(Variant v) noexcept {
+  // Bruck gathers into a rotated scratch buffer; its offsets are foreign to
+  // the collective's buffer and cannot be dataflow-validated symbolically.
+  return v != Variant::AllgatherBruck;
+}
+
+TransferExpectation expected_transfers(const FuzzCase& c) {
+  const int P = c.nranks;
+  TransferExpectation e;
+  switch (c.variant) {
+    case Variant::BcastBinomial:
+      return bcast_algorithm_expectation(core::BcastAlgorithm::Binomial, c);
+    case Variant::BcastScatterRd:
+      return bcast_algorithm_expectation(
+          core::BcastAlgorithm::ScatterRdAllgather, c);
+    case Variant::BcastScatterRingNative:
+      return bcast_algorithm_expectation(core::BcastAlgorithm::ScatterRingNative,
+                                         c);
+    case Variant::BcastScatterRingTuned:
+      return bcast_algorithm_expectation(core::BcastAlgorithm::ScatterRingTuned,
+                                         c);
+    case Variant::BcastRingPipelined:
+      e.total_sends = pipelined_sends(P, c.nbytes, c.segment_bytes);
+      e.redundant_bytes = 0;
+      e.redundant_msgs = 0;
+      return e;
+    case Variant::BcastSmp:
+      e.total_sends = smp_sends(c);
+      e.redundant_bytes = 0;  // tuned leader ring + disjoint node subtrees
+      e.redundant_msgs = 0;
+      return e;
+    case Variant::BcastAuto:
+    case Variant::BcastPersistent:
+      return bcast_algorithm_expectation(
+          core::choose_bcast_algorithm(c.nbytes, P, selector_config(c)), c);
+    case Variant::AllgatherRingNative:
+      // Contract: ranks start with ONLY their own chunk, so nothing the
+      // enclosed ring delivers is redundant here; the waste appears only
+      // when it runs over scatter output (BcastScatterRingNative above).
+      e.total_sends = core::native_ring_transfers(P);
+      e.redundant_bytes = 0;
+      e.redundant_msgs = 0;
+      e.native_ring_per_rank = true;
+      return e;
+    case Variant::AllgatherRingTuned:
+      e.total_sends = core::tuned_ring_transfers(P);
+      e.redundant_bytes = 0;
+      e.redundant_msgs = 0;
+      e.tuned_ring_per_rank = true;
+      return e;
+    case Variant::AllgatherRecursiveDoubling: {
+      e.total_sends = static_cast<std::uint64_t>(P) *
+                      static_cast<std::uint64_t>(
+                          ceil_log2(static_cast<std::uint64_t>(P)));
+      const Redundancy red = rd_redundancy(P, c.nbytes);
+      e.redundant_bytes = red.bytes;
+      e.redundant_msgs = red.msgs;
+      return e;
+    }
+    case Variant::AllgatherBruck:
+      e.total_sends = static_cast<std::uint64_t>(P) *
+                      static_cast<std::uint64_t>(
+                          ceil_log2(static_cast<std::uint64_t>(P)));
+      return e;  // no dataflow: redundancy not statically checkable
+    case Variant::AllgatherNeighborExchange:
+      e.total_sends =
+          static_cast<std::uint64_t>(P) * static_cast<std::uint64_t>(P / 2);
+      e.redundant_bytes = 0;
+      e.redundant_msgs = 0;
+      return e;
+  }
+  BSB_ASSERT(false, "expected_transfers: unknown variant");
+}
+
+std::vector<IntervalSet> initial_coverage(const FuzzCase& c) {
+  const int P = c.nranks;
+  std::vector<IntervalSet> init(static_cast<std::size_t>(P));
+  switch (c.variant) {
+    case Variant::BcastBinomial:
+    case Variant::BcastScatterRd:
+    case Variant::BcastScatterRingNative:
+    case Variant::BcastScatterRingTuned:
+    case Variant::BcastRingPipelined:
+    case Variant::BcastSmp:
+    case Variant::BcastAuto:
+    case Variant::BcastPersistent:
+      init[static_cast<std::size_t>(c.root)].insert({0, c.nbytes});
+      return init;
+    case Variant::AllgatherRingNative: {
+      const ChunkLayout layout(c.nbytes, P);
+      for (int r = 0; r < P; ++r) {
+        const int rel = rel_rank(r, c.root, P);
+        const std::uint64_t off = layout.disp(rel);
+        init[static_cast<std::size_t>(r)].insert({off, off + layout.count(rel)});
+      }
+      return init;
+    }
+    case Variant::AllgatherRingTuned:
+    case Variant::AllgatherRecursiveDoubling: {
+      // These run over binomial-scatter output: each rank owns its whole
+      // subtree chunk block (the tuned ring exploits exactly that).
+      const ChunkLayout layout(c.nbytes, P);
+      for (int r = 0; r < P; ++r) {
+        const int rel = rel_rank(r, c.root, P);
+        const std::uint64_t off = layout.disp(rel);
+        init[static_cast<std::size_t>(r)].insert(
+            {off, off + coll::scatter_block_bytes(rel, layout)});
+      }
+      return init;
+    }
+    case Variant::AllgatherBruck:
+    case Variant::AllgatherNeighborExchange: {
+      BSB_REQUIRE(c.nbytes % static_cast<std::uint64_t>(P) == 0,
+                  "initial_coverage: block allgather needs P | nbytes");
+      const std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(P);
+      for (int r = 0; r < P; ++r) {
+        const std::uint64_t off = static_cast<std::uint64_t>(r) * block;
+        init[static_cast<std::size_t>(r)].insert({off, off + block});
+      }
+      return init;
+    }
+  }
+  BSB_ASSERT(false, "initial_coverage: unknown variant");
+}
+
+}  // namespace bsb::verify

@@ -1,0 +1,53 @@
+// Closed-form expectations for every broadcast/allgather variant: total
+// message counts (core/transfer_analysis plus per-variant arithmetic),
+// exact redundant-transfer accounting (the paper's excess: the enclosed
+// ring re-ships bytes the receiver already owns after the binomial
+// scatter), and each variant's initial-ownership contract. The verifier
+// checks recorded schedules against these; a mismatch is a conformance
+// failure, never a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bsbutil/intervals.hpp"
+#include "fuzz/case.hpp"
+
+namespace bsb::verify {
+
+struct TransferExpectation {
+  /// Total send halves across all ranks; nullopt when the variant has no
+  /// closed form (none today — every variant is covered).
+  std::optional<std::uint64_t> total_sends;
+  /// Payload bytes delivered to ranks that already held them. For the
+  /// tuned paths this is 0 by construction; for the enclosed (native) ring
+  /// and the recursive-doubling allgather running over binomial-scatter
+  /// output it is exactly sum_r(block_bytes(r) - own_chunk_bytes(r)).
+  std::optional<std::uint64_t> redundant_bytes;
+  /// Nonempty messages whose payload was entirely already held.
+  std::optional<std::uint64_t> redundant_msgs;
+  /// When true, per-rank send/recv counts must match the RingPlan closed
+  /// forms (tuned_sends / tuned_recvs).
+  bool tuned_ring_per_rank = false;
+  /// When true, every rank must send and receive exactly P-1 messages
+  /// (the enclosed ring's shape).
+  bool native_ring_per_rank = false;
+};
+
+/// Closed-form expectation for the case's recorded schedule.
+TransferExpectation expected_transfers(const fuzz::FuzzCase& c);
+
+/// Bytes each rank holds valid BEFORE the collective runs — the variant's
+/// ownership contract (mirrors fuzz's fill_initial; the seeded cross-check
+/// test keeps the two in sync).
+std::vector<IntervalSet> initial_coverage(const fuzz::FuzzCase& c);
+
+/// False for variants whose spans live in scratch memory (Bruck rotation),
+/// where offsets cannot be dataflow-validated.
+bool dataflow_checkable(fuzz::Variant v) noexcept;
+
+/// ceil(log2(n)) for n >= 1.
+int ceil_log2(std::uint64_t n) noexcept;
+
+}  // namespace bsb::verify

@@ -1,0 +1,289 @@
+#include "verify/hb.hpp"
+
+#include <algorithm>
+
+namespace bsb::verify {
+
+namespace {
+
+using trace::MatchedMsg;
+using trace::Op;
+using trace::OpKind;
+
+struct RankState {
+  int pc = 0;                      // current (not yet completed) op index
+  bool send_half_done = false;     // send half of the current op completed
+  int barriers_passed = 0;
+};
+
+std::string rank_op(int rank, int op) {
+  return "rank " + std::to_string(rank) + " op " + std::to_string(op);
+}
+
+}  // namespace
+
+std::string format_cycle(const std::vector<CycleHop>& cycle) {
+  std::string out;
+  for (const CycleHop& hop : cycle) {
+    out += "  " + rank_op(hop.rank, hop.op) + ": " + hop.why + "\n";
+  }
+  return out;
+}
+
+HbReport analyze_hb(const trace::Schedule& sched, const trace::MatchResult& m,
+                    const HbOptions& opt) {
+  HbReport report;
+  const int P = sched.nranks;
+  std::vector<RankState> st(P);
+
+  auto fail = [&](const std::string& why) {
+    report.ok = false;
+    if (!report.diagnostics.empty()) report.diagnostics += "\n";
+    report.diagnostics += why;
+  };
+
+  // --- Buffer-safety pass (independent of execution order). Under
+  // blocking semantics the only same-rank accesses with no happens-before
+  // edge are the two halves of one SendRecv: both are in flight between
+  // the op's post and its completion. Overlapping halves mean the receive
+  // may overwrite bytes the (possibly zero-copy) send is still reading.
+  for (int r = 0; r < P; ++r) {
+    for (int i = 0; i < static_cast<int>(sched.ops[r].size()); ++i) {
+      const Op& op = sched.ops[r][i];
+      if (op.kind != OpKind::SendRecv) continue;
+      if (op.send_off == trace::kForeignOffset ||
+          op.recv_off == trace::kForeignOffset) {
+        continue;  // scratch-buffer spans: offsets are not comparable
+      }
+      const Interval snd{op.send_off, op.send_off + op.send_bytes};
+      const Interval rcv{op.recv_off, op.recv_off + op.recv_cap};
+      if (snd.empty() || rcv.empty()) continue;
+      if (snd.lo < rcv.hi && rcv.lo < snd.hi) {
+        report.races.push_back({r, i, snd, rcv});
+        fail("buffer race: " + rank_op(r, i) + " sendrecv reads [" +
+             std::to_string(snd.lo) + "," + std::to_string(snd.hi) +
+             ") while concurrently receiving into [" + std::to_string(rcv.lo) +
+             "," + std::to_string(rcv.hi) +
+             ") with no happens-before edge between the halves");
+      }
+    }
+  }
+
+  // --- Greedy fixpoint execution. Completion conditions are monotone in
+  // the set of already-completed ops, so the fixpoint is unique: either
+  // every rank drains (the wait-for graph is acyclic; no execution can
+  // deadlock) or the stuck ranks form wait-for cycles.
+  const std::uint64_t thr = opt.eager_threshold;
+  std::uint64_t eager_buffered = 0;
+  // Per-message eager state. In the greedy order a receive can complete
+  // before its sender's send half does (posting is enough); releases must
+  // only subtract bytes that were actually buffered, and a send whose
+  // receive already drained goes direct, skipping the buffer entirely.
+  // The resulting high-water mark is the residency of the greedy (fastest
+  // draining) interleaving: a lower bound on the eager capacity any
+  // execution of the schedule needs.
+  std::vector<std::uint8_t> buffered(m.msgs.size(), 0);
+  std::vector<std::uint8_t> recv_done(m.msgs.size(), 0);
+
+  // send_posted is implied by pc ordering; track completion of recvs to
+  // release eager buffers exactly once.
+  auto send_posted = [&](const MatchedMsg& msg) {
+    return st[msg.src].pc >= msg.src_op;
+  };
+  auto recv_posted = [&](const MatchedMsg& msg) {
+    return st[msg.dst].pc >= msg.dst_op;
+  };
+
+  auto complete_send_half = [&](int r, int i) -> bool {
+    const int id = m.send_msg_of[r][i];
+    BSB_ASSERT(id >= 0, "analyze_hb: send half without matched message");
+    const MatchedMsg& msg = m.msgs[id];
+    if (msg.bytes <= thr) {
+      ++report.eager_msgs;
+      if (!recv_done[id]) {
+        eager_buffered += msg.bytes;
+        buffered[id] = 1;
+        report.eager_high_water_bytes =
+            std::max(report.eager_high_water_bytes, eager_buffered);
+      }
+      return true;  // eager: buffered (or delivered direct) at post
+    }
+    return recv_posted(msg);  // rendezvous: wait for the receive to be posted
+  };
+
+  auto complete_recv_half = [&](int r, int i) -> bool {
+    const int id = m.recv_msg_of[r][i];
+    BSB_ASSERT(id >= 0, "analyze_hb: recv half without matched message");
+    const MatchedMsg& msg = m.msgs[id];
+    if (!send_posted(msg)) return false;
+    if (buffered[id]) {
+      eager_buffered -= msg.bytes;
+      buffered[id] = 0;
+    }
+    recv_done[id] = 1;
+    return true;
+  };
+
+  auto barrier_ready = [&](int generation) {
+    for (int q = 0; q < P; ++q) {
+      if (st[q].barriers_passed > generation) continue;
+      const auto& list = sched.ops[q];
+      if (st[q].pc < static_cast<int>(list.size()) &&
+          list[st[q].pc].kind == OpKind::Barrier &&
+          st[q].barriers_passed == generation) {
+        continue;  // posted: waiting at this barrier right now
+      }
+      return false;
+    }
+    return true;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < P; ++r) {
+      while (st[r].pc < static_cast<int>(sched.ops[r].size())) {
+        const int i = st[r].pc;
+        const Op& op = sched.ops[r][i];
+        bool advanced = false;
+        switch (op.kind) {
+          case OpKind::Send:
+            advanced = complete_send_half(r, i);
+            break;
+          case OpKind::Recv:
+            advanced = complete_recv_half(r, i);
+            break;
+          case OpKind::SendRecv:
+            if (!st[r].send_half_done && complete_send_half(r, i)) {
+              st[r].send_half_done = true;
+              progress = true;
+            }
+            if (st[r].send_half_done && complete_recv_half(r, i)) {
+              st[r].send_half_done = false;
+              advanced = true;
+            }
+            break;
+          case OpKind::Barrier:
+            if (barrier_ready(st[r].barriers_passed)) {
+              ++st[r].barriers_passed;
+              advanced = true;
+            }
+            break;
+        }
+        if (!advanced) break;
+        ++st[r].pc;
+        progress = true;
+      }
+    }
+  }
+
+  // --- Witness extraction: every undrained rank is blocked; follow each
+  // blocked op's single wait-for target until a rank repeats (a cycle) or
+  // the chain ends at a rank that already finished (barrier-count skew).
+  std::vector<int> stuck;
+  for (int r = 0; r < P; ++r) {
+    if (st[r].pc < static_cast<int>(sched.ops[r].size())) stuck.push_back(r);
+  }
+  if (!stuck.empty()) {
+    report.deadlock = true;
+
+    auto wait_hop = [&](int r, int* next) -> CycleHop {
+      const int i = st[r].pc;
+      const Op& op = sched.ops[r][i];
+      CycleHop hop;
+      hop.rank = r;
+      hop.op = i;
+      switch (op.kind) {
+        case OpKind::Recv:
+        case OpKind::SendRecv: {
+          // For SendRecv, the send half may also be pending; report the
+          // receive half first when both block (it names the data edge).
+          const int rid = m.recv_msg_of[r][i];
+          const MatchedMsg& msg = m.msgs[rid];
+          if (!send_posted(msg)) {
+            hop.why = "receive from rank " + std::to_string(msg.src) +
+                      " (tag " + std::to_string(msg.tag) +
+                      ") waits for send half of " +
+                      rank_op(msg.src, msg.src_op) + " to be posted; rank " +
+                      std::to_string(msg.src) + " is blocked at op " +
+                      std::to_string(st[msg.src].pc);
+            *next = msg.src;
+            return hop;
+          }
+          BSB_ASSERT(op.kind == OpKind::SendRecv,
+                     "analyze_hb: blocked recv with posted send");
+          [[fallthrough]];
+        }
+        case OpKind::Send: {
+          const int sid = m.send_msg_of[r][i];
+          const MatchedMsg& msg = m.msgs[sid];
+          hop.why = "rendezvous send of " + std::to_string(msg.bytes) +
+                    " bytes to rank " + std::to_string(msg.dst) + " (tag " +
+                    std::to_string(msg.tag) +
+                    ") waits for its receive half " +
+                    rank_op(msg.dst, msg.dst_op) + " to be posted; rank " +
+                    std::to_string(msg.dst) + " is blocked at op " +
+                    std::to_string(st[msg.dst].pc);
+          *next = msg.dst;
+          return hop;
+        }
+        case OpKind::Barrier: {
+          const int g = st[r].barriers_passed;
+          for (int q = 0; q < P; ++q) {
+            if (q == r || st[q].barriers_passed > g) continue;
+            const auto& list = sched.ops[q];
+            const bool at_barrier =
+                st[q].pc < static_cast<int>(list.size()) &&
+                list[st[q].pc].kind == OpKind::Barrier &&
+                st[q].barriers_passed == g;
+            if (at_barrier) continue;
+            hop.why = "barrier #" + std::to_string(g) + " waits for rank " +
+                      std::to_string(q) +
+                      (st[q].pc >= static_cast<int>(list.size())
+                           ? " which already finished with only " +
+                                 std::to_string(st[q].barriers_passed) +
+                                 " barrier(s) (barrier-count mismatch)"
+                           : " which is blocked at op " +
+                                 std::to_string(st[q].pc));
+            *next = q;
+            return hop;
+          }
+          BSB_ASSERT(false, "analyze_hb: barrier blocked with all ranks ready");
+        }
+      }
+      BSB_ASSERT(false, "analyze_hb: blocked op of unknown kind");
+    };
+
+    // Walk from the lowest stuck rank. Each hop's target is itself stuck
+    // (a finished rank can only appear via barrier-count mismatch, which
+    // terminates the walk without a cycle).
+    std::vector<CycleHop> path;
+    std::vector<int> pos_of_rank(P, -1);
+    int cur = stuck.front();
+    while (true) {
+      if (st[cur].pc >= static_cast<int>(sched.ops[cur].size())) {
+        // Chain ended at a finished rank: no cycle, report the chain.
+        fail("deadlock (no cycle): wait chain reaches rank " +
+             std::to_string(cur) + " which already finished\n" +
+             format_cycle(path));
+        break;
+      }
+      if (pos_of_rank[cur] >= 0) {
+        report.cycle.assign(path.begin() + pos_of_rank[cur], path.end());
+        fail("deadlock: wait-for cycle of " +
+             std::to_string(report.cycle.size()) + " operation(s)\n" +
+             format_cycle(report.cycle));
+        break;
+      }
+      pos_of_rank[cur] = static_cast<int>(path.size());
+      int next = -1;
+      path.push_back(wait_hop(cur, &next));
+      BSB_ASSERT(next >= 0 && next < P, "analyze_hb: bad wait target");
+      cur = next;
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bsb::verify

@@ -1,0 +1,79 @@
+// Happens-before analysis of a matched schedule: statically proves (or
+// refutes, with a minimal-cycle witness) that the schedule is deadlock-free
+// under blocking point-to-point semantics with a configurable eager
+// threshold, and that no rank's receive writes overlap a concurrently
+// readable send interval (the static analogue of a user-buffer data race).
+//
+// The happens-before graph is the union of
+//   * program-order edges: op i of a rank completes before op i+1 is posted;
+//   * message edges: a receive completes only after its matching send half
+//     has been posted (data exists, eagerly buffered or in flight);
+//   * rendezvous edges: a send of more than `eager_threshold` bytes
+//     completes only after the matching receive has been POSTED (the
+//     sender blocks until the receiver arrives, exactly MPICH semantics);
+//   * barrier edges: the g-th barrier of any rank completes only after
+//     every rank has posted its g-th barrier.
+// Completion is monotone in this system, so a greedy fixpoint execution
+// drains every rank if and only if the graph is acyclic; a stuck fixpoint
+// yields a wait-for cycle, which analyze_hb extracts and reports with
+// rank/op provenance. See docs/VERIFIER.md for the full model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bsbutil/intervals.hpp"
+#include "trace/match.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::verify {
+
+struct HbOptions {
+  /// Sends of at most this many bytes complete at post time (the runtime
+  /// buffers the payload); larger sends block until the matching receive
+  /// is posted. 0 models pure rendezvous — the strictest regime, in which
+  /// a proof implies deadlock freedom for every larger threshold.
+  std::uint64_t eager_threshold = 0;
+};
+
+/// One hop of a deadlock witness: the blocked operation and what it waits
+/// for. The last hop waits for the first one's rank/op, closing the cycle.
+struct CycleHop {
+  int rank = -1;
+  int op = -1;
+  std::string why;  // e.g. "rendezvous send to rank 3 waits for its receive"
+};
+
+/// A same-rank pair of intervals that may be read and written concurrently
+/// with no happens-before edge between the accesses.
+struct BufferRace {
+  int rank = -1;
+  int op = -1;
+  Interval send;  // bytes the send half reads
+  Interval recv;  // bytes the receive half writes
+};
+
+struct HbReport {
+  bool ok = true;
+  bool deadlock = false;
+  std::vector<CycleHop> cycle;      // nonempty iff deadlock
+  std::vector<BufferRace> races;    // nonempty makes ok false
+  std::string diagnostics;          // human-readable summary (empty when ok)
+
+  /// Eager accounting over the canonical greedy execution: messages that
+  /// went through the eager path and the peak number of payload bytes
+  /// buffered by the runtime at any instant (the lint high-water mark).
+  std::uint64_t eager_msgs = 0;
+  std::uint64_t eager_high_water_bytes = 0;
+};
+
+/// Analyze `sched` (already matched as `m`). Never throws on a property
+/// violation; inspect the report.
+HbReport analyze_hb(const trace::Schedule& sched, const trace::MatchResult& m,
+                    const HbOptions& opt = {});
+
+/// Render a deadlock cycle as one line per hop, for diagnostics and tests.
+std::string format_cycle(const std::vector<CycleHop>& cycle);
+
+}  // namespace bsb::verify

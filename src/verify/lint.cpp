@@ -1,0 +1,147 @@
+#include "verify/lint.hpp"
+
+#include "coll/tags.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::verify {
+
+namespace {
+
+using trace::Op;
+using trace::OpKind;
+
+/// Cap on recorded findings: schedules reach millions of ops at large P and
+/// a broken generator would otherwise flood the report.
+constexpr std::size_t kMaxFindings = 64;
+
+bool known_base_tag(int base) {
+  return base >= coll::tags::kBcastBinomial &&
+         base <= coll::tags::kStandaloneScatter;
+}
+
+}  // namespace
+
+const char* to_string(LintSeverity s) noexcept {
+  return s == LintSeverity::Error ? "error" : "warning";
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += "  [";
+    out += verify::to_string(f.severity);
+    out += "] ";
+    if (f.rank >= 0) {
+      out += "rank " + std::to_string(f.rank);
+      if (f.op >= 0) out += " op " + std::to_string(f.op);
+      out += ": ";
+    }
+    out += f.what + "\n";
+  }
+  return out;
+}
+
+LintReport lint_schedule(const trace::Schedule& sched) {
+  LintReport report;
+  std::size_t dropped = 0;
+
+  auto add = [&](LintSeverity sev, int rank, int op, std::string what) {
+    if (sev == LintSeverity::Error) report.ok = false;
+    if (report.findings.size() >= kMaxFindings) {
+      ++dropped;
+      return;
+    }
+    report.findings.push_back({sev, rank, op, std::move(what)});
+  };
+
+  auto check_tag = [&](int rank, int op, int tag, const char* half) {
+    if (tag < 0) {
+      add(LintSeverity::Error, rank, op,
+          std::string(half) + " tag " + std::to_string(tag) + " is negative");
+      return;
+    }
+    const int context = tag / (kMaxUserTag + 1);
+    const int base = tag % (kMaxUserTag + 1);
+    // Valid: a registered per-algorithm tag, either bare or namespaced by a
+    // SubComm context, or a SubComm dissemination-barrier tag (base ==
+    // kMaxUserTag shifted into a context >= 1 namespace).
+    const bool ok = known_base_tag(base) || (context >= 1 && base == kMaxUserTag);
+    if (!ok) {
+      add(LintSeverity::Warning, rank, op,
+          std::string(half) + " tag " + std::to_string(tag) +
+              " (context " + std::to_string(context) + ", base " +
+              std::to_string(base) +
+              ") is outside the registered tag space of coll/tags.hpp");
+    }
+  };
+
+  std::vector<std::uint64_t> barriers(static_cast<std::size_t>(sched.nranks), 0);
+
+  for (int r = 0; r < sched.nranks; ++r) {
+    const auto& list = sched.ops[r];
+    for (int i = 0; i < static_cast<int>(list.size()); ++i) {
+      const Op& op = list[i];
+      if (op.kind == OpKind::Barrier) {
+        ++barriers[static_cast<std::size_t>(r)];
+        continue;
+      }
+      if (op.has_send()) {
+        if (op.dst == r) {
+          add(LintSeverity::Error, r, i,
+              "self-send (blocking send to own rank deadlocks under "
+              "rendezvous)");
+        }
+        check_tag(r, i, op.send_tag, "send");
+        if (op.send_bytes == 0) ++report.zero_byte_sends;
+        if (op.send_off != trace::kForeignOffset &&
+            op.send_off + op.send_bytes > sched.nbytes) {
+          add(LintSeverity::Error, r, i,
+              "send interval [" + std::to_string(op.send_off) + "," +
+                  std::to_string(op.send_off + op.send_bytes) +
+                  ") exceeds the " + std::to_string(sched.nbytes) +
+                  "-byte collective buffer");
+        }
+      }
+      if (op.has_recv()) {
+        if (op.src == r) {
+          add(LintSeverity::Error, r, i,
+              "self-receive (blocking receive from own rank can never be "
+              "matched by this schedule shape)");
+        }
+        check_tag(r, i, op.recv_tag, "recv");
+        if (op.recv_off != trace::kForeignOffset &&
+            op.recv_off + op.recv_cap > sched.nbytes) {
+          add(LintSeverity::Error, r, i,
+              "receive interval [" + std::to_string(op.recv_off) + "," +
+                  std::to_string(op.recv_off + op.recv_cap) +
+                  ") exceeds the " + std::to_string(sched.nbytes) +
+                  "-byte collective buffer");
+        }
+      }
+    }
+  }
+
+  for (int r = 1; r < sched.nranks; ++r) {
+    if (barriers[static_cast<std::size_t>(r)] != barriers[0]) {
+      add(LintSeverity::Error, r, -1,
+          "rank executes " + std::to_string(barriers[static_cast<std::size_t>(r)]) +
+              " barrier(s) but rank 0 executes " + std::to_string(barriers[0]) +
+              " (collective-order mismatch)");
+    }
+  }
+
+  if (report.zero_byte_sends > 0) {
+    add(LintSeverity::Warning, -1, -1,
+        std::to_string(report.zero_byte_sends) +
+            " zero-byte message(s) (legal, but pure overhead — the enclosed "
+            "ring ships these for trailing empty chunks)");
+  }
+  if (dropped > 0) {
+    report.findings.push_back(
+        {LintSeverity::Warning, -1, -1,
+         std::to_string(dropped) + " further finding(s) suppressed"});
+  }
+  return report;
+}
+
+}  // namespace bsb::verify

@@ -1,0 +1,40 @@
+// Structural lint over a recorded schedule, run before the heavier
+// analyses: self-sends, out-of-bounds or empty intervals, tag-discipline
+// violations (tags outside the registered per-algorithm tag space of
+// coll/tags.hpp and the SubComm context namespacing of comm/subcomm.hpp),
+// and mismatched per-rank barrier counts. Errors make the schedule invalid;
+// warnings flag legal-but-wasteful constructs (e.g. the enclosed ring's
+// zero-byte trailing-chunk messages the paper criticises).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/schedule.hpp"
+
+namespace bsb::verify {
+
+enum class LintSeverity : std::uint8_t { Warning, Error };
+
+const char* to_string(LintSeverity s) noexcept;
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::Warning;
+  int rank = -1;
+  int op = -1;  // -1 for schedule-level findings
+  std::string what;
+};
+
+struct LintReport {
+  /// True when no Error-severity finding was recorded (warnings are fine).
+  bool ok = true;
+  std::vector<LintFinding> findings;
+  std::uint64_t zero_byte_sends = 0;
+
+  std::string to_string() const;
+};
+
+LintReport lint_schedule(const trace::Schedule& sched);
+
+}  // namespace bsb::verify

@@ -1,0 +1,456 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "bsbutil/error.hpp"
+#include "comm/chunks.hpp"
+#include "core/ring_plan.hpp"
+#include "core/transfer_analysis.hpp"
+#include "trace/counters.hpp"
+#include "trace/coverage.hpp"
+#include "trace/match.hpp"
+#include "trace/record.hpp"
+#include "verify/conformance.hpp"
+#include "verify/hb.hpp"
+#include "verify/lint.hpp"
+
+namespace bsb::verify {
+
+namespace {
+
+using fuzz::FuzzCase;
+using fuzz::Variant;
+
+void add_failure(CaseResult* res, const std::string& what) {
+  res->ok = false;
+  res->failures.push_back(what);
+}
+
+std::string mismatch(const char* what, std::uint64_t got, std::uint64_t want) {
+  return std::string(what) + ": schedule has " + std::to_string(got) +
+         ", closed form says " + std::to_string(want);
+}
+
+/// The shared property suite: lint, match, happens-before (per threshold),
+/// dataflow coverage + redundancy, and transfer-count conformance.
+/// `expect` and `cfg` are optional (hand-built schedules have neither).
+void verify_impl(const trace::Schedule& sched, int root,
+                 const VerifyOptions& opt,
+                 const std::vector<IntervalSet>* initial,
+                 const TransferExpectation* expect, const FuzzCase* cfg,
+                 bool dataflow, CaseResult* res) {
+  res->total_ops = sched.total_ops();
+  res->total_sends = sched.total_sends();
+  res->total_send_bytes = sched.total_send_bytes();
+
+  // 1. Lint: structural hygiene. Errors invalidate the schedule.
+  const LintReport lint = lint_schedule(sched);
+  for (const LintFinding& f : lint.findings) {
+    if (f.severity == LintSeverity::Warning) ++res->lint_warnings;
+  }
+  if (!lint.ok) {
+    add_failure(res, "lint:\n" + lint.to_string());
+  }
+
+  // 2. Match: every send must pair with a receive (MPI non-overtaking).
+  trace::MatchResult m;
+  try {
+    m = trace::match_schedule(sched);
+  } catch (const trace::ScheduleError& e) {
+    add_failure(res, std::string("match: ") + e.what());
+    return;  // nothing downstream is meaningful without a matching
+  }
+
+  // 3. Happens-before: deadlock freedom under every requested threshold,
+  // plus buffer safety (threshold-independent; reported once).
+  bool first_threshold = true;
+  for (const std::uint64_t thr : opt.eager_thresholds) {
+    const HbReport hb = analyze_hb(sched, m, HbOptions{thr});
+    res->eager_high_water_bytes =
+        std::max(res->eager_high_water_bytes, hb.eager_high_water_bytes);
+    if (hb.deadlock) {
+      add_failure(res, "deadlock[eager_threshold=" + std::to_string(thr) +
+                           "]:\n" + hb.diagnostics);
+    }
+    if (first_threshold && !hb.races.empty()) {
+      std::string what = "race:";
+      for (const BufferRace& race : hb.races) {
+        what += "\n  rank " + std::to_string(race.rank) + " op " +
+                std::to_string(race.op) + " sendrecv: send [" +
+                std::to_string(race.send.lo) + "," +
+                std::to_string(race.send.hi) + ") overlaps recv [" +
+                std::to_string(race.recv.lo) + "," +
+                std::to_string(race.recv.hi) + ")";
+      }
+      add_failure(res, what);
+    }
+    first_threshold = false;
+  }
+
+  // 4. Dataflow coverage + redundancy under the initial-ownership contract.
+  if (dataflow) {
+    trace::CoverageOptions copt;
+    if (initial != nullptr) copt.initial = *initial;
+    const trace::CoverageReport cov =
+        trace::validate_coverage(sched, m, root, copt);
+    res->dataflow_checked = true;
+    res->redundant_bytes = cov.redundant_bytes;
+    res->redundant_msgs = cov.redundant_msgs;
+    if (!cov.ok) {
+      add_failure(res, "coverage:\n" + cov.diagnostics);
+    }
+    if (expect != nullptr && cov.ok) {
+      if (expect->redundant_bytes &&
+          cov.redundant_bytes != *expect->redundant_bytes) {
+        add_failure(res, mismatch("redundancy: redundant bytes",
+                                  cov.redundant_bytes,
+                                  *expect->redundant_bytes));
+      }
+      if (expect->redundant_msgs &&
+          cov.redundant_msgs != *expect->redundant_msgs) {
+        add_failure(res, mismatch("redundancy: fully-redundant messages",
+                                  cov.redundant_msgs, *expect->redundant_msgs));
+      }
+    }
+  }
+
+  // 5. Transfer-count conformance against the closed forms.
+  if (expect != nullptr) {
+    if (expect->total_sends && res->total_sends != *expect->total_sends) {
+      add_failure(res, mismatch("transfers: total messages", res->total_sends,
+                                *expect->total_sends));
+    }
+    if ((expect->tuned_ring_per_rank || expect->native_ring_per_rank) &&
+        cfg != nullptr) {
+      const int P = sched.nranks;
+      const auto per_rank = trace::per_rank_op_counts(sched);
+      for (int r = 0; r < P && res->failures.size() < 8; ++r) {
+        std::uint64_t want_sends = 0, want_recvs = 0;
+        if (expect->tuned_ring_per_rank) {
+          const core::RingPlan plan =
+              core::compute_ring_plan(rel_rank(r, cfg->root, P), P);
+          want_sends = static_cast<std::uint64_t>(core::tuned_sends(plan, P));
+          want_recvs = static_cast<std::uint64_t>(core::tuned_recvs(plan, P));
+        } else {
+          want_sends = want_recvs = static_cast<std::uint64_t>(P - 1);
+        }
+        if (per_rank[r].sends != want_sends) {
+          add_failure(res, mismatch(("transfers: rank " + std::to_string(r) +
+                                     " sends")
+                                        .c_str(),
+                                    per_rank[r].sends, want_sends));
+        }
+        if (per_rank[r].recvs != want_recvs) {
+          add_failure(res, mismatch(("transfers: rank " + std::to_string(r) +
+                                     " recvs")
+                                        .c_str(),
+                                    per_rank[r].recvs, want_recvs));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string CaseResult::summary() const {
+  std::string out = label.empty() ? describe(config) : label;
+  if (ok) {
+    out += " -- ok (" + std::to_string(total_sends) + " msgs, " +
+           std::to_string(redundant_msgs) + " redundant)";
+    return out;
+  }
+  for (const std::string& f : failures) out += "\n  FAIL " + f;
+  return out;
+}
+
+CaseResult verify_case(const FuzzCase& c, const VerifyOptions& opt,
+                       fuzz::Sabotage sabotage) {
+  CaseResult res;
+  res.config = c;
+  trace::Schedule sched;
+  try {
+    sched = trace::record_schedule(c.nranks, c.nbytes,
+                                   fuzz::make_rank_body(c, sabotage));
+  } catch (const Error& e) {
+    add_failure(&res, std::string("record: ") + e.what());
+    return res;
+  }
+  const TransferExpectation expect = expected_transfers(c);
+  const std::vector<IntervalSet> initial = initial_coverage(c);
+  const bool dataflow = opt.check_dataflow && dataflow_checkable(c.variant);
+  verify_impl(sched, c.root, opt, &initial, &expect, &c, dataflow, &res);
+  return res;
+}
+
+CaseResult verify_schedule(const trace::Schedule& sched, int root,
+                           const VerifyOptions& opt,
+                           const std::vector<IntervalSet>* initial) {
+  CaseResult res;
+  res.config.nranks = sched.nranks;
+  res.config.nbytes = sched.nbytes;
+  res.config.root = root;
+  res.label = "schedule P=" + std::to_string(sched.nranks) +
+              " bytes=" + std::to_string(sched.nbytes) +
+              " root=" + std::to_string(root);
+  verify_impl(sched, root, opt, initial, nullptr, nullptr, opt.check_dataflow,
+              &res);
+  return res;
+}
+
+std::vector<int> default_plist(int pmax) {
+  std::set<int> ps;
+  for (int p = 2; p <= std::min(pmax, 17); ++p) ps.insert(p);
+  for (const int p : {24, 31, 32, 33, 48, 63, 64, 65, 96, 100, 127, 128, 192,
+                      256, 512, 1024, 2048, 4096}) {
+    if (p <= pmax) ps.insert(p);
+  }
+  if (pmax >= 2) ps.insert(pmax);
+  return {ps.begin(), ps.end()};
+}
+
+namespace {
+
+/// Dense arithmetic cross-check of the closed forms for every P: the
+/// per-rank ring plans must sum to the totals, the tuned total must be
+/// native minus savings, and the paper's in-text anchors must hold.
+void closed_form_density_check(int pmax, SweepReport* report) {
+  auto fail = [&](std::string what) {
+    report->closed_form_failures.push_back(std::move(what));
+  };
+  for (int P = 2; P <= pmax; ++P) {
+    const std::uint64_t native = core::native_ring_transfers(P);
+    const std::uint64_t tuned = core::tuned_ring_transfers(P);
+    const std::uint64_t savings = core::tuned_ring_savings(P);
+    if (native != static_cast<std::uint64_t>(P) *
+                      static_cast<std::uint64_t>(P - 1)) {
+      fail("P=" + std::to_string(P) + ": native != P*(P-1)");
+    }
+    if (native != tuned + savings) {
+      fail("P=" + std::to_string(P) + ": native != tuned + savings");
+    }
+    std::uint64_t plan_sends = 0, plan_recvs = 0;
+    for (int rel = 0; rel < P; ++rel) {
+      const core::RingPlan plan = core::compute_ring_plan(rel, P);
+      plan_sends += static_cast<std::uint64_t>(core::tuned_sends(plan, P));
+      plan_recvs += static_cast<std::uint64_t>(core::tuned_recvs(plan, P));
+    }
+    if (plan_sends != tuned || plan_recvs != tuned) {
+      fail("P=" + std::to_string(P) + ": per-rank ring plans sum to " +
+           std::to_string(plan_sends) + " sends / " +
+           std::to_string(plan_recvs) + " recvs, closed form says " +
+           std::to_string(tuned));
+    }
+    report->proofs += 4;
+  }
+  // The paper's Section IV anchors.
+  struct Anchor {
+    int P;
+    std::uint64_t native, tuned;
+  };
+  for (const Anchor a : {Anchor{8, 56, 44}, Anchor{10, 90, 75}}) {
+    if (a.P > pmax) continue;
+    if (core::native_ring_transfers(a.P) != a.native ||
+        core::tuned_ring_transfers(a.P) != a.tuned) {
+      fail("paper anchor P=" + std::to_string(a.P) + ": expected " +
+           std::to_string(a.native) + " -> " + std::to_string(a.tuned) +
+           ", closed forms give " +
+           std::to_string(core::native_ring_transfers(a.P)) + " -> " +
+           std::to_string(core::tuned_ring_transfers(a.P)));
+    }
+    report->proofs += 1;
+  }
+}
+
+std::vector<int> roots_for(int P, int all_roots_upto) {
+  std::vector<int> roots;
+  if (P <= all_roots_upto) {
+    for (int r = 0; r < P; ++r) roots.push_back(r);
+    return roots;
+  }
+  std::set<int> sample;
+  if (P <= 512) {
+    sample = {0, 1, P / 2, P - 1};
+  } else if (P <= 1536) {
+    sample = {0, P / 2};
+  } else {
+    sample = {0};  // quadratic schedules: one root keeps the sweep bounded
+  }
+  return {sample.begin(), sample.end()};
+}
+
+FuzzCase sweep_case(Variant v, int P, int root, std::uint64_t nbytes) {
+  FuzzCase c;
+  c.variant = v;
+  c.nranks = P;
+  c.nbytes = nbytes;
+  const bool allgather =
+      static_cast<int>(v) >= static_cast<int>(Variant::AllgatherRingNative);
+  if (allgather) {
+    // Equal-block allgathers need P | nbytes; snap down, keep >= 1 block.
+    std::uint64_t block = nbytes / static_cast<std::uint64_t>(P);
+    if (block == 0) block = 1;
+    c.nbytes = block * static_cast<std::uint64_t>(P);
+  }
+  const bool rootless = v == Variant::AllgatherBruck ||
+                        v == Variant::AllgatherNeighborExchange;
+  c.root = rootless ? 0 : root;
+  c.segment_bytes = 4096;
+  c.smp_cores_per_node = 4;
+  // Selector thresholds stay at the MPICH defaults (FuzzCase defaults).
+  return c;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepReport report;
+
+  if (opt.closed_form_density) {
+    closed_form_density_check(opt.pmax, &report);
+    out << "closed forms: P=2.." << opt.pmax << " "
+        << (report.closed_form_failures.empty() ? "ok" : "FAILED") << "\n";
+  }
+
+  const std::vector<int> plist =
+      opt.plist.empty() ? default_plist(opt.pmax) : opt.plist;
+  VerifyOptions vopt;
+  vopt.eager_thresholds = opt.eager_thresholds;
+
+  for (const int P : plist) {
+    std::uint64_t p_cases = 0, p_failures = 0;
+    for (const Variant v : fuzz::all_variants()) {
+      if (opt.only && *opt.only != v) continue;
+      if (fuzz::fit_ranks(v, P) != P) continue;  // structural requirement
+      const std::vector<int> roots = roots_for(P, opt.all_roots_upto);
+      const bool rootless = v == Variant::AllgatherBruck ||
+                            v == Variant::AllgatherNeighborExchange;
+      for (const std::uint64_t nbytes : opt.sizes) {
+        for (const int root : roots) {
+          if (rootless && root != roots.front()) continue;
+          const FuzzCase c = sweep_case(v, P, root, nbytes);
+          const CaseResult res = verify_case(c, vopt);
+          const auto vi = static_cast<std::size_t>(c.variant);
+          ++report.cases;
+          ++p_cases;
+          ++report.per_variant_cases[vi];
+          report.schedules_ops += res.total_ops;
+          // Properties checked per case: lint, match, deadlock freedom per
+          // threshold, buffer safety, coverage, redundancy, transfers.
+          report.proofs += 4 + opt.eager_thresholds.size() +
+                           (res.dataflow_checked ? 1 : 0);
+          if (!res.ok) {
+            ++report.failures;
+            ++p_failures;
+            ++report.per_variant_failures[vi];
+            if (report.failed.size() < 32) report.failed.push_back(res);
+            out << "FAIL " << res.summary() << "\n";
+          } else if (opt.verbose) {
+            out << "  ok " << res.summary() << "\n";
+          }
+        }
+      }
+    }
+    out << "P=" << P << ": " << p_cases << " case(s), " << p_failures
+        << " failure(s)\n";
+  }
+
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+void write_verify_json(const std::string& path, const SweepOptions& opt,
+                       const SweepReport& report) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream f(path);
+  BSB_REQUIRE(f.good(), "write_verify_json: cannot open output path");
+
+  f << "{\n";
+  f << "  \"schema\": \"bsb-verify-v1\",\n";
+  f << "  \"pmax\": " << opt.pmax << ",\n";
+  f << "  \"sizes\": [";
+  for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
+    f << (i ? ", " : "") << opt.sizes[i];
+  }
+  f << "],\n";
+  f << "  \"eager_thresholds\": [";
+  for (std::size_t i = 0; i < opt.eager_thresholds.size(); ++i) {
+    f << (i ? ", " : "") << opt.eager_thresholds[i];
+  }
+  f << "],\n";
+  f << "  \"cases\": " << report.cases << ",\n";
+  f << "  \"failures\": " << report.failures << ",\n";
+  f << "  \"proofs\": " << report.proofs << ",\n";
+  f << "  \"schedule_ops\": " << report.schedules_ops << ",\n";
+  f << "  \"closed_form_failures\": [";
+  for (std::size_t i = 0; i < report.closed_form_failures.size(); ++i) {
+    f << (i ? ", " : "") << '"' << json_escape(report.closed_form_failures[i])
+      << '"';
+  }
+  f << "],\n";
+  f << "  \"paper\": {\"p8_native\": " << core::native_ring_transfers(8)
+    << ", \"p8_tuned\": " << core::tuned_ring_transfers(8)
+    << ", \"p10_native\": " << core::native_ring_transfers(10)
+    << ", \"p10_tuned\": " << core::tuned_ring_transfers(10) << "},\n";
+  f << "  \"per_variant\": {";
+  bool first = true;
+  for (const Variant v : fuzz::all_variants()) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (report.per_variant_cases[vi] == 0) continue;
+    f << (first ? "" : ", ") << "\n    \"" << fuzz::to_string(v)
+      << "\": {\"cases\": " << report.per_variant_cases[vi]
+      << ", \"failures\": " << report.per_variant_failures[vi] << "}";
+    first = false;
+  }
+  f << "\n  },\n";
+  f << "  \"failed\": [";
+  for (std::size_t i = 0; i < report.failed.size(); ++i) {
+    f << (i ? ", " : "") << "\n    {\"config\": \""
+      << json_escape(describe(report.failed[i].config)) << "\", \"failures\": [";
+    const auto& fails = report.failed[i].failures;
+    for (std::size_t j = 0; j < fails.size(); ++j) {
+      f << (j ? ", " : "") << '"' << json_escape(fails[j]) << '"';
+    }
+    f << "]}";
+  }
+  f << (report.failed.empty() ? "]" : "\n  ]") << ",\n";
+  f << "  \"elapsed_seconds\": " << report.elapsed_seconds << "\n";
+  f << "}\n";
+  BSB_REQUIRE(f.good(), "write_verify_json: write failed");
+}
+
+}  // namespace bsb::verify

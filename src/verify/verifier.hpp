@@ -1,0 +1,117 @@
+// Orchestrates the static schedule proofs for one configuration or a whole
+// sweep: record the variant's schedule symbolically, lint it, match it,
+// prove deadlock freedom under each eager threshold (happens-before
+// analysis), prove buffer safety, validate dataflow coverage with the
+// variant's initial-ownership contract, check redundancy against the
+// paper's excess, and check transfer counts against the closed forms.
+// Everything runs without the thread backend, so it scales to process
+// counts the threaded oracle cannot reach.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bsbutil/intervals.hpp"
+#include "fuzz/case.hpp"
+#include "fuzz/runner.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::verify {
+
+struct VerifyOptions {
+  /// Eager thresholds to prove deadlock freedom under. 0 = pure rendezvous
+  /// (strictest: a proof there implies all larger thresholds for schedules
+  /// without barrier skew, and we prove the others anyway).
+  std::vector<std::uint64_t> eager_thresholds = {0, 65536};
+  /// Validate dataflow coverage and redundancy (skipped automatically for
+  /// variants with scratch-buffer offsets, e.g. Bruck).
+  bool check_dataflow = true;
+};
+
+/// Outcome of the full property suite on one configuration.
+struct CaseResult {
+  fuzz::FuzzCase config;
+  /// Non-empty for hand-built schedules (verify_schedule), where `config`
+  /// carries only the shape; summary() prefers it over describe(config).
+  std::string label;
+  bool ok = true;
+  /// One entry per failed property, prefixed "deadlock:", "race:",
+  /// "lint:", "match:", "coverage:", "redundancy:" or "transfers:".
+  std::vector<std::string> failures;
+
+  // Proven facts (for reporting).
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_sends = 0;
+  std::uint64_t total_send_bytes = 0;
+  std::uint64_t redundant_bytes = 0;
+  std::uint64_t redundant_msgs = 0;
+  std::uint64_t eager_high_water_bytes = 0;  // max over checked thresholds
+  std::uint64_t lint_warnings = 0;
+  bool dataflow_checked = false;
+
+  std::string summary() const;
+};
+
+/// Record and verify the case's variant (optionally sabotaged, for
+/// detector self-tests).
+CaseResult verify_case(const fuzz::FuzzCase& c, const VerifyOptions& opt = {},
+                       fuzz::Sabotage sabotage = fuzz::Sabotage::None);
+
+/// Verify an already-recorded schedule (hand-built schedules, regression
+/// tests for the witness machinery). `initial` defaults to the broadcast
+/// contract (root owns everything).
+CaseResult verify_schedule(const trace::Schedule& sched, int root,
+                           const VerifyOptions& opt = {},
+                           const std::vector<IntervalSet>* initial = nullptr);
+
+struct SweepOptions {
+  /// Process counts to record and prove schedules at. Default: dense to 17,
+  /// then structure-straddling samples (powers of two +/- 1, primes,
+  /// round numbers) up to `pmax`.
+  std::vector<int> plist;
+  int pmax = 4096;
+  /// Buffer sizes: the two MPICH algorithm-switch boundaries by default.
+  std::vector<std::uint64_t> sizes = {12288, 524288};
+  std::vector<std::uint64_t> eager_thresholds = {0, 65536};
+  /// All roots for P <= this; {0, 1, P/2, P-1} above.
+  int all_roots_upto = 10;
+  /// Restrict to one variant (nullopt = all 13).
+  std::optional<fuzz::Variant> only;
+  /// Verify closed-form consistency (per-rank ring plans vs totals, paper
+  /// anchor values) densely for EVERY P in [2, pmax], independent of
+  /// plist. Cheap: arithmetic only, no schedule recording.
+  bool closed_form_density = true;
+  bool verbose = false;
+};
+
+struct SweepReport {
+  std::uint64_t cases = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t schedules_ops = 0;     // total ops statically executed
+  std::uint64_t proofs = 0;            // individual properties proven
+  std::array<std::uint64_t, fuzz::kNumVariants> per_variant_cases{};
+  std::array<std::uint64_t, fuzz::kNumVariants> per_variant_failures{};
+  /// Dense closed-form pass result (empty = ok or skipped).
+  std::vector<std::string> closed_form_failures;
+  /// Failed cases, capped; summaries suitable for diagnostics.
+  std::vector<CaseResult> failed;
+  double elapsed_seconds = 0.0;
+
+  bool ok() const { return failures == 0 && closed_form_failures.empty(); }
+};
+
+/// Run the sweep, streaming progress to `out`.
+SweepReport run_sweep(const SweepOptions& opt, std::ostream& out);
+
+/// Write the report as a bsb-verify-v1 JSON artifact.
+void write_verify_json(const std::string& path, const SweepOptions& opt,
+                       const SweepReport& report);
+
+/// Default process-count list for `pmax` (see SweepOptions::plist).
+std::vector<int> default_plist(int pmax);
+
+}  // namespace bsb::verify

@@ -99,7 +99,7 @@ TEST(Reduce, SumsDoublesAtRoot) {
       world.run([&](mpisim::ThreadComm& comm) {
         std::vector<double> vals(5);
         for (std::size_t i = 0; i < vals.size(); ++i) {
-          vals[i] = comm.rank() + i * 0.5;
+          vals[i] = comm.rank() + static_cast<double>(i) * 0.5;
         }
         std::vector<double> result(comm.rank() == root ? 5 : 0);
         coll::reduce_binomial(comm, std::span<const double>(vals),
@@ -107,7 +107,9 @@ TEST(Reduce, SumsDoublesAtRoot) {
         if (comm.rank() == root) {
           const double ranksum = P * (P - 1) / 2.0;
           for (std::size_t i = 0; i < result.size(); ++i) {
-            EXPECT_DOUBLE_EQ(result[i], ranksum + P * (i * 0.5)) << i;
+            EXPECT_DOUBLE_EQ(result[i],
+                             ranksum + P * (static_cast<double>(i) * 0.5))
+                << i;
           }
         }
       });

@@ -251,8 +251,8 @@ TEST(CpuAccounting, TunedSavesHostProcessing) {
   const auto tuned = run(true);
   EXPECT_LT(tuned.total_cpu_busy, native.total_cpu_busy);
   // Each skipped ring transfer saves at least o_send + o_recv of overhead.
-  const double min_saving =
-      core::tuned_ring_savings(P) * (cost.o_send + cost.o_recv);
+  const double min_saving = static_cast<double>(core::tuned_ring_savings(P)) *
+                            (cost.o_send + cost.o_recv);
   EXPECT_GE(native.total_cpu_busy - tuned.total_cpu_busy, min_saving * 0.999);
   // Per-rank vector is populated and sums to the total.
   double sum = 0;

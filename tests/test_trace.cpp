@@ -180,6 +180,76 @@ TEST(Match, TruncationThrows) {
   EXPECT_THROW(match_schedule(s), ScheduleError);
 }
 
+TEST(Match, ZeroByteMessagesPairNormally) {
+  // Zero-byte sends are legal (the enclosed ring emits them for trailing
+  // empty chunks) and must pair FIFO like any other message.
+  Schedule s;
+  s.nranks = 2;
+  s.nbytes = 10;
+  s.ops.resize(2);
+  s.ops[0] = {send_op(1, 0, 0, 0), send_op(1, 0, 4, 0)};
+  s.ops[1] = {recv_op(0, 0, 0, 4), recv_op(0, 0, 4, 4)};
+  const auto m = match_schedule(s);
+  ASSERT_EQ(m.msgs.size(), 2u);
+  EXPECT_EQ(m.msgs[0].bytes, 0u);
+  EXPECT_EQ(m.msgs[1].bytes, 4u);
+  // A zero-byte send may flow into a zero-byte receive; larger caps on the
+  // receive side are fine too, but a nonzero send into a zero cap is not.
+  s.ops[0] = {send_op(1, 0, 1, 0)};
+  s.ops[1] = {recv_op(0, 0, 0, 0)};
+  EXPECT_THROW(match_schedule(s), ScheduleError);
+}
+
+TEST(Match, SingleRankScheduleIsEmptyButValid) {
+  Schedule s;
+  s.nranks = 1;
+  s.nbytes = 64;
+  s.ops.resize(1);
+  const auto m = match_schedule(s);
+  EXPECT_TRUE(m.msgs.empty());
+  ASSERT_EQ(m.send_msg_of.size(), 1u);
+  EXPECT_TRUE(m.send_msg_of[0].empty());
+}
+
+TEST(Match, UnequalChannelCountsReportBothTallies) {
+  // Three sends against one receive on the same channel: the error must
+  // name the channel and both counts, not just throw generically.
+  Schedule s;
+  s.nranks = 2;
+  s.nbytes = 10;
+  s.ops.resize(2);
+  s.ops[0] = {send_op(1, 7, 2, 0), send_op(1, 7, 2, 2), send_op(1, 7, 2, 4)};
+  s.ops[1] = {recv_op(0, 7, 2, 0)};
+  try {
+    match_schedule(s);
+    FAIL() << "expected ScheduleError";
+  } catch (const ScheduleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 send(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 receive(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=7"), std::string::npos) << what;
+  }
+}
+
+TEST(Match, TruncationNamesTheOffendingSend) {
+  // The second message on the channel is the truncated one; the diagnostic
+  // must point at send #1, not #0.
+  Schedule s;
+  s.nranks = 2;
+  s.nbytes = 16;
+  s.ops.resize(2);
+  s.ops[0] = {send_op(1, 0, 4, 0), send_op(1, 0, 8, 4)};
+  s.ops[1] = {recv_op(0, 0, 4, 0), recv_op(0, 0, 4, 4)};
+  try {
+    match_schedule(s);
+    FAIL() << "expected ScheduleError";
+  } catch (const ScheduleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("send #1"), std::string::npos) << what;
+    EXPECT_NE(what.find("8 bytes"), std::string::npos) << what;
+  }
+}
+
 // --------------------------------------------------------------- coverage
 
 TEST(Coverage, DetectsGarbageSend) {
