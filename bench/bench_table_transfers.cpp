@@ -12,9 +12,12 @@
 
 #include "bsbutil/table.hpp"
 #include "coll/allgather_ring_native.hpp"
+#include "coll/reduce_ops.hpp"
+#include "coll/reduce_scatter_ring.hpp"
 #include "coll/scatter_binomial.hpp"
 #include "comm/chunks.hpp"
 #include "core/allgather_ring_tuned.hpp"
+#include "core/allreduce_rsag.hpp"
 #include "core/transfer_analysis.hpp"
 #include "trace/event_table.hpp"
 #include "trace/record.hpp"
@@ -76,6 +79,37 @@ int main(int argc, char** argv) {
                                         : "  [MISMATCH!]")
               << "\n";
     if (!ok_native || !ok_tuned) return 1;
+  }
+  std::cout << "\n";
+
+  // The generalized family: the same non-enclosed trick priced for the
+  // ownership-aware reduce_scatter and the rs+ag allreduce.
+  std::cout << "Ownership-aware reduction family transfers (generalized "
+               "closed forms)\n\n";
+  std::cout << core::reduce_family_table(quick ? std::vector<int>{8, 10, 129}
+                                               : sizes)
+            << "\n";
+  for (int P : {8, 10}) {
+    const std::uint64_t nbytes = 8 * static_cast<std::uint64_t>(P);
+    const auto rs = trace::record_schedule(
+        P, nbytes, [&](Comm& comm, std::span<std::byte> buffer) {
+          coll::reduce_scatter_blocks_ring(comm, buffer, 0, coll::RedOp::Sum,
+                                           coll::RedDtype::F64);
+        });
+    const auto ar = trace::record_schedule(
+        P, nbytes, [&](Comm& comm, std::span<std::byte> buffer) {
+          core::allreduce_rsag_tuned(comm, buffer, 0, coll::RedOp::Sum,
+                                     coll::RedDtype::F64);
+        });
+    const bool ok_rs =
+        rs.total_sends() == core::blocked_reduce_scatter_transfers(P);
+    const bool ok_ar =
+        ar.total_sends() == core::allreduce_rsag_tuned_transfers(P);
+    std::cout << "P=" << P << ": recorded blocked reduce_scatter "
+              << rs.total_sends() << ", tuned allreduce " << ar.total_sends()
+              << (ok_rs && ok_ar ? "  [matches closed form]" : "  [MISMATCH!]")
+              << "\n";
+    if (!ok_rs || !ok_ar) return 1;
   }
   std::cout << "\n";
 

@@ -34,6 +34,26 @@ echo "==== bounded fuzz pass (30s, sanitized) ===="
 build-asan/tools/bsb-fuzz --time-budget=30 --cases=1000000
 build-asan/tools/bsb-fuzz --selftest
 
+echo "==== reduction-family replays (sanitized) ===="
+# One deterministic replay per ownership-aware variant, covering both
+# operators, both dtypes and a zero-block skewed layout.
+build-asan/tools/bsb-fuzz --variant=reduce-scatter-ring --ranks=10 \
+  --root=3 --bytes=640 --op=sum --dtype=f64
+build-asan/tools/bsb-fuzz --variant=reduce-scatter-blocks --ranks=8 \
+  --root=5 --bytes=512 --op=max --dtype=i32
+build-asan/tools/bsb-fuzz --variant=allreduce-rsag-native --ranks=10 \
+  --root=0 --bytes=1280 --op=max --dtype=f64
+build-asan/tools/bsb-fuzz --variant=allreduce-rsag-tuned --ranks=8 \
+  --root=7 --bytes=1024 --op=sum --dtype=i32
+build-asan/tools/bsb-fuzz --variant=allreduce-recursive-doubling --ranks=16 \
+  --bytes=2048 --op=sum --dtype=f64
+build-asan/tools/bsb-fuzz --variant=allgatherv-ring-native --ranks=10 \
+  --root=4 --bytes=997 --skew-seed=7
+build-asan/tools/bsb-fuzz --variant=allgatherv-ring-tuned --ranks=13 \
+  --root=12 --bytes=12288 --skew-seed=99
+build-asan/tools/bsb-fuzz --variant=allgather-bruck-hier --ranks=12 \
+  --bytes=768 --smp-cores=4
+
 echo "==== static schedule proofs (sanitized) ===="
 build-asan/tools/bsb-verify --selftest
 build-asan/tools/bsb-verify --pmax=48

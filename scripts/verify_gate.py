@@ -4,8 +4,11 @@
 Usage: verify_gate.py VERIFY_JSON
 
 Checks the bsb-verify-v1 schema, requires zero failures (case-level and
-closed-form), and re-asserts the paper's anchor transfer counts
-(P=8: 56 -> 44, P=10: 90 -> 75). Exit 0 = gate passed.
+closed-form), re-asserts the paper's anchor transfer counts
+(P=8: 56 -> 44, P=10: 90 -> 75) and the generalized reduction-family
+anchors (P=8: 68 / 124 -> 112, P=10: 105 / 195 -> 180), and requires
+the ownership-aware collectives to appear in the per-variant coverage.
+Exit 0 = gate passed.
 """
 
 import json
@@ -18,6 +21,24 @@ PAPER_ANCHORS = {
     "p10_native": 90,
     "p10_tuned": 75,
 }
+FAMILY_ANCHORS = {
+    "p8_blocked_rs": 68,
+    "p8_allreduce_native": 124,
+    "p8_allreduce_tuned": 112,
+    "p10_blocked_rs": 105,
+    "p10_allreduce_native": 195,
+    "p10_allreduce_tuned": 180,
+}
+REQUIRED_VARIANTS = [
+    "bcast-scatter-ring-tuned",
+    "reduce-scatter-ring",
+    "reduce-scatter-blocks",
+    "allreduce-rsag-native",
+    "allreduce-rsag-tuned",
+    "allgatherv-ring-native",
+    "allgatherv-ring-tuned",
+    "allgather-bruck-hier",
+]
 REQUIRED_KEYS = [
     "schema",
     "pmax",
@@ -29,6 +50,7 @@ REQUIRED_KEYS = [
     "schedule_ops",
     "closed_form_failures",
     "paper",
+    "family",
     "per_variant",
     "failed",
     "elapsed_seconds",
@@ -64,9 +86,16 @@ def main(argv: list) -> int:
         got = doc["paper"].get(key)
         if got != want:
             return fail(f"paper anchor {key}: got {got}, expected {want}")
+    for key, want in FAMILY_ANCHORS.items():
+        got = doc["family"].get(key)
+        if got != want:
+            return fail(f"family anchor {key}: got {got}, expected {want}")
     for name, stats in doc["per_variant"].items():
         if stats["failures"] != 0:
             return fail(f"variant {name}: {stats['failures']} failure(s)")
+    for name in REQUIRED_VARIANTS:
+        if doc["per_variant"].get(name, {}).get("cases", 0) <= 0:
+            return fail(f"variant {name} missing from the sweep coverage")
     print(
         f"verify_gate: ok — {doc['cases']} cases, {doc['proofs']} proofs, "
         f"{doc['schedule_ops']} schedule ops, 0 failures"

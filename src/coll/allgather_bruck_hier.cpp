@@ -1,0 +1,113 @@
+#include "coll/allgather_bruck_hier.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+#include "comm/topology.hpp"
+
+namespace bsb::coll {
+
+namespace {
+
+/// Bytes node `n` aggregates: one uniform block per resident rank.
+std::uint64_t node_bytes(const Topology& topo, int n, std::uint64_t block) {
+  return static_cast<std::uint64_t>(topo.ranks_on_node(n).size()) * block;
+}
+
+}  // namespace
+
+void allgather_bruck_hier(Comm& comm, std::span<std::byte> buffer,
+                          std::uint64_t block, int cores_per_node) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(buffer.size() == static_cast<std::uint64_t>(P) * block,
+              "allgather_bruck_hier: buffer must hold exactly P blocks");
+  BSB_REQUIRE(cores_per_node >= 1, "allgather_bruck_hier: need cores >= 1");
+  if (P == 1) return;
+
+  const Topology topo(P, cores_per_node, Placement::Block);
+  const int L = topo.num_nodes();
+  const int my_node = topo.node_of(me);
+  const std::vector<int> members = topo.ranks_on_node(my_node);
+  const int leader = members[0];
+
+  // Phase 1: members hand their block to the node leader. Block placement
+  // makes a node's ranks consecutive, so after this the leader's buffer
+  // holds the node aggregate contiguously at the node's home offsets.
+  if (me != leader) {
+    comm.send(std::span<const std::byte>(buffer).subspan(
+                  static_cast<std::uint64_t>(me) * block, block),
+              leader, tags::kBruckHierGather);
+  } else {
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const int m = members[i];
+      comm.recv(buffer.subspan(static_cast<std::uint64_t>(m) * block, block), m,
+                tags::kBruckHierGather);
+    }
+
+    if (L > 1) {
+      // Phase 2: Bruck over the L leaders, slot sizes varying with the
+      // node populations. temp slot j holds node (my_node + j) % L's
+      // aggregate; disp[] are the rotated prefix sums. `have` counts SLOTS.
+      std::vector<std::uint64_t> disp(static_cast<std::size_t>(L) + 1, 0);
+      for (int j = 0; j < L; ++j) {
+        disp[static_cast<std::size_t>(j) + 1] =
+            disp[static_cast<std::size_t>(j)] +
+            node_bytes(topo, (my_node + j) % L, block);
+      }
+      std::vector<std::byte> temp(disp.back());
+      if (disp[1] > 0) {
+        std::memcpy(temp.data(),
+                    buffer.data() + static_cast<std::uint64_t>(members[0]) * block,
+                    disp[1]);
+      }
+
+      int have = 1;
+      int dist = 1;
+      while (dist < L) {
+        const int to_node = (my_node - dist % L + L) % L;
+        const int from_node = (my_node + dist) % L;
+        const int want = std::min(have, L - have);
+        const int to = topo.ranks_on_node(to_node)[0];
+        const int from = topo.ranks_on_node(from_node)[0];
+        comm.sendrecv(
+            std::span<const std::byte>(temp).subspan(0, disp[static_cast<std::size_t>(want)]),
+            to, tags::kBruckHierExchange,
+            std::span<std::byte>(temp).subspan(
+                disp[static_cast<std::size_t>(have)],
+                disp[static_cast<std::size_t>(have + want)] -
+                    disp[static_cast<std::size_t>(have)]),
+            from, tags::kBruckHierExchange);
+        have += want;
+        dist <<= 1;
+      }
+      BSB_ASSERT(have == L, "bruck-hier: incomplete leader exchange");
+
+      // Un-rotate the node aggregates into rank order.
+      for (int j = 0; j < L; ++j) {
+        const int n = (my_node + j) % L;
+        const std::uint64_t bytes = node_bytes(topo, n, block);
+        if (bytes > 0) {
+          std::memcpy(
+              buffer.data() +
+                  static_cast<std::uint64_t>(topo.ranks_on_node(n)[0]) * block,
+              temp.data() + disp[static_cast<std::size_t>(j)], bytes);
+        }
+      }
+    }
+
+    // Phase 3: full-buffer star broadcast to the node's members.
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      comm.send(std::span<const std::byte>(buffer), members[i],
+                tags::kBruckHierBcast);
+    }
+  }
+  if (me != leader) {
+    comm.recv(buffer, leader, tags::kBruckHierBcast);
+  }
+}
+
+}  // namespace bsb::coll

@@ -1,0 +1,36 @@
+// Locality-aware (hierarchical) Bruck allgather — the comparison point the
+// ownership-aware family is measured against. Three phases over a blocked
+// rank-to-node mapping (cores_per_node consecutive ranks per node):
+//
+//   1. gather star:   each non-leader sends its block to its node leader
+//                     (intra-node traffic; P - L messages);
+//   2. Bruck exchange: the L node leaders run a log-round Bruck allgather
+//                     over VARIABLE-size node aggregates (the last node may
+//                     be short); L * ceil(log2(L)) messages, the only
+//                     inter-node traffic;
+//   3. bcast star:    each leader ships the assembled buffer to its
+//                     members (P - L messages).
+//
+// Total: 2(P - L) + L * ceil(log2(L)) messages — far fewer than any ring's
+// P(P-1), at the price of serializing whole-buffer payloads through the
+// leaders. The Bruck rotation lives in scratch, so (like allgather_bruck)
+// the variant is not dataflow-checkable; the verifier proves shape,
+// deadlock-freedom and the closed-form counts instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// Rootless hierarchical allgather of P uniform blocks (`buffer` holds
+/// exactly P * block bytes; rank r contributes block r at its home
+/// offset). `cores_per_node` >= 1 fixes the blocked node mapping. On
+/// return every rank holds all P blocks.
+void allgather_bruck_hier(Comm& comm, std::span<std::byte> buffer,
+                          std::uint64_t block, int cores_per_node);
+
+}  // namespace bsb::coll

@@ -1,0 +1,34 @@
+#include "coll/allgatherv_ring.hpp"
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+void allgatherv_ring_native(Comm& comm, std::span<std::byte> buffer, int root,
+                            const VarLayout& layout) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(layout.nchunks() == P,
+              "allgatherv_ring_native: layout chunk count != P");
+  BSB_REQUIRE(buffer.size() >= layout.nbytes(),
+              "allgatherv_ring_native: buffer too small");
+
+  const int left = (P + me - 1) % P;
+  const int right = (me + 1) % P;
+  int j = me;
+  int jnext = left;
+
+  for (int i = 1; i < P; ++i) {
+    const int rel_j = rel_rank(j, root, P);
+    const int rel_jnext = rel_rank(jnext, root, P);
+    comm.sendrecv(layout.chunk(std::span<const std::byte>(buffer), rel_j), right,
+                  tags::kAllgathervRing,
+                  layout.chunk(buffer, rel_jnext), left, tags::kAllgathervRing);
+    j = jnext;
+    jnext = (P + jnext - 1) % P;
+  }
+}
+
+}  // namespace bsb::coll

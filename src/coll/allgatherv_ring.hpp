@@ -1,0 +1,27 @@
+// Enclosed (native) ring allgatherv: the baseline for the skewed-block
+// generalization of the paper's optimization. Same ring walk as
+// allgather_ring_native, but chunk sizes come from a VarLayout — arbitrary
+// per-rank byte counts, zero-sized blocks included. The enclosed schedule
+// still exchanges a message on every one of the P-1 steps regardless of
+// what the receiver already holds, so its redundancy is the same
+// block-ownership waste the uniform native ring exhibits, now weighed by
+// the skewed byte counts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/comm.hpp"
+#include "comm/vchunks.hpp"
+
+namespace bsb::coll {
+
+/// Run the enclosed ring allgatherv. On entry the rank with relative rank
+/// r holds (at least) chunk block [r, r + scatter_subtree_span(r)) at the
+/// chunks' home offsets — the post-binomial-scatter ownership; only chunk
+/// r is actually consumed. On return every rank holds all layout.nbytes()
+/// bytes.
+void allgatherv_ring_native(Comm& comm, std::span<std::byte> buffer, int root,
+                            const VarLayout& layout);
+
+}  // namespace bsb::coll

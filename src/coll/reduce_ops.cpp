@@ -1,0 +1,213 @@
+#include "coll/reduce_ops.hpp"
+
+#include <cstring>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/rng.hpp"
+#include "coll/reduce.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+namespace {
+
+template <typename T>
+T load(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+template <typename T>
+void store(std::byte* p, T v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+template <typename T>
+T apply(RedOp op, T a, T b) {
+  return op == RedOp::Sum ? static_cast<T>(a + b) : (b < a ? a : b);
+}
+
+template <typename T>
+void combine_into_typed(RedOp op, std::span<std::byte> dst,
+                        std::span<const std::byte> src) {
+  for (std::size_t i = 0; i < dst.size(); i += sizeof(T)) {
+    store<T>(dst.data() + i,
+             apply<T>(op, load<T>(src.data() + i), load<T>(dst.data() + i)));
+  }
+}
+
+std::uint64_t contribution_hash(std::uint64_t seed, int rank,
+                                std::uint64_t elem) {
+  SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(rank) + 1) *
+                            0x9e3779b97f4a7c15ULL ^
+                 (elem + 1) * 0x100000001b3ULL);
+  return rng.next();
+}
+
+std::int32_t contribution_i32(std::uint64_t seed, int rank, std::uint64_t elem) {
+  // Magnitude <= 125: a sum over even millions of ranks stays far from
+  // INT32 limits, so signed overflow (UB) is impossible by construction.
+  return static_cast<std::int32_t>(contribution_hash(seed, rank, elem) % 251) -
+         125;
+}
+
+double contribution_f64(std::uint64_t seed, int rank, std::uint64_t elem) {
+  // An integer head (0..4096) plus a 2^-48-scaled tail: the two parts span
+  // more than 52 mantissa bits, so SUMS of these values round and the
+  // result depends on association — exactly what pins the fold order.
+  // All values are >= 0, so -0.0 (where max's operand order would show)
+  // never occurs.
+  const std::uint64_t h = contribution_hash(seed, rank, elem);
+  return static_cast<double>(h % 4097) +
+         static_cast<double>((h >> 32) % 4096) * 0x1p-48;
+}
+
+template <typename T>
+T contribution_typed(std::uint64_t seed, int rank, std::uint64_t elem);
+template <>
+std::int32_t contribution_typed<std::int32_t>(std::uint64_t seed, int rank,
+                                              std::uint64_t elem) {
+  return contribution_i32(seed, rank, elem);
+}
+template <>
+double contribution_typed<double>(std::uint64_t seed, int rank,
+                                  std::uint64_t elem) {
+  return contribution_f64(seed, rank, elem);
+}
+
+template <typename T>
+T ring_reduced_typed(RedOp op, std::uint64_t seed, int P, int root,
+                     int chunk_rel, std::uint64_t elem) {
+  // Left fold in ring arrival order: the chunk's partial starts at relative
+  // rank chunk_rel+1 and each later rank folds its contribution on the
+  // right, the owner (relative rank chunk_rel) folding last.
+  T acc = contribution_typed<T>(
+      seed, abs_rank((chunk_rel + 1) % P, root, P), elem);
+  for (int t = 2; t <= P; ++t) {
+    const int rel = (chunk_rel + t) % P;
+    acc = apply<T>(op, acc, contribution_typed<T>(seed, abs_rank(rel, root, P), elem));
+  }
+  return acc;
+}
+
+template <typename T>
+T rd_reduced_typed(RedOp op, std::uint64_t seed, int lo, int n,
+                   std::uint64_t elem) {
+  if (n == 1) return contribution_typed<T>(seed, lo, elem);
+  const int half = n / 2;
+  return apply<T>(op, rd_reduced_typed<T>(op, seed, lo, half, elem),
+                  rd_reduced_typed<T>(op, seed, lo + half, half, elem));
+}
+
+}  // namespace
+
+const char* to_string(RedOp op) noexcept {
+  return op == RedOp::Sum ? "sum" : "max";
+}
+
+const char* to_string(RedDtype dtype) noexcept {
+  return dtype == RedDtype::I32 ? "i32" : "f64";
+}
+
+std::optional<RedOp> red_op_from_string(const std::string& name) {
+  if (name == "sum") return RedOp::Sum;
+  if (name == "max") return RedOp::Max;
+  return std::nullopt;
+}
+
+std::optional<RedDtype> red_dtype_from_string(const std::string& name) {
+  if (name == "i32") return RedDtype::I32;
+  if (name == "f64") return RedDtype::F64;
+  return std::nullopt;
+}
+
+std::uint64_t elem_bytes(RedDtype dtype) noexcept {
+  return dtype == RedDtype::I32 ? 4 : 8;
+}
+
+void combine_into(RedOp op, RedDtype dtype, std::span<std::byte> dst,
+                  std::span<const std::byte> src) {
+  BSB_REQUIRE(dst.size() == src.size(), "combine_into: span size mismatch");
+  BSB_REQUIRE(dst.size() % elem_bytes(dtype) == 0,
+              "combine_into: span not a whole number of elements");
+  if (dtype == RedDtype::I32) {
+    combine_into_typed<std::int32_t>(op, dst, src);
+  } else {
+    combine_into_typed<double>(op, dst, src);
+  }
+}
+
+void contribution(RedDtype dtype, std::uint64_t seed, int rank,
+                  std::uint64_t elem, std::span<std::byte> out) {
+  BSB_REQUIRE(out.size() == elem_bytes(dtype), "contribution: bad element span");
+  if (dtype == RedDtype::I32) {
+    store<std::int32_t>(out.data(), contribution_i32(seed, rank, elem));
+  } else {
+    store<double>(out.data(), contribution_f64(seed, rank, elem));
+  }
+}
+
+void fill_contributions(RedDtype dtype, std::uint64_t seed, int rank,
+                        std::uint64_t first_elem, std::span<std::byte> buf) {
+  const std::uint64_t es = elem_bytes(dtype);
+  BSB_REQUIRE(buf.size() % es == 0,
+              "fill_contributions: span not a whole number of elements");
+  for (std::uint64_t i = 0; i < buf.size(); i += es) {
+    contribution(dtype, seed, rank, first_elem + i / es, buf.subspan(i, es));
+  }
+}
+
+void ring_reduced_value(RedOp op, RedDtype dtype, std::uint64_t seed, int P,
+                        int root, int chunk_rel, std::uint64_t elem,
+                        std::span<std::byte> out) {
+  BSB_REQUIRE(out.size() == elem_bytes(dtype),
+              "ring_reduced_value: bad element span");
+  if (dtype == RedDtype::I32) {
+    store<std::int32_t>(out.data(), ring_reduced_typed<std::int32_t>(
+                                        op, seed, P, root, chunk_rel, elem));
+  } else {
+    store<double>(out.data(),
+                  ring_reduced_typed<double>(op, seed, P, root, chunk_rel, elem));
+  }
+}
+
+void rd_reduced_value(RedOp op, RedDtype dtype, std::uint64_t seed, int P,
+                      std::uint64_t elem, std::span<std::byte> out) {
+  BSB_REQUIRE(out.size() == elem_bytes(dtype), "rd_reduced_value: bad element span");
+  if (dtype == RedDtype::I32) {
+    store<std::int32_t>(out.data(),
+                        rd_reduced_typed<std::int32_t>(op, seed, 0, P, elem));
+  } else {
+    store<double>(out.data(), rd_reduced_typed<double>(op, seed, 0, P, elem));
+  }
+}
+
+namespace {
+
+template <typename T>
+void allreduce_reinterpreted(Comm& comm, std::span<std::byte> buf, RedOp op) {
+  BSB_REQUIRE(reinterpret_cast<std::uintptr_t>(buf.data()) % alignof(T) == 0,
+              "allreduce_typed: buffer not element-aligned");
+  std::span<T> values(reinterpret_cast<T*>(buf.data()), buf.size() / sizeof(T));
+  if (op == RedOp::Sum) {
+    allreduce(comm, values, SumOp{});
+  } else {
+    allreduce(comm, values, MaxOp{});
+  }
+}
+
+}  // namespace
+
+void allreduce_typed(Comm& comm, std::span<std::byte> buf, RedOp op,
+                     RedDtype dtype) {
+  BSB_REQUIRE(buf.size() % elem_bytes(dtype) == 0,
+              "allreduce_typed: buffer not a whole number of elements");
+  if (dtype == RedDtype::I32) {
+    allreduce_reinterpreted<std::int32_t>(comm, buf, op);
+  } else {
+    allreduce_reinterpreted<double>(comm, buf, op);
+  }
+}
+
+}  // namespace bsb::coll

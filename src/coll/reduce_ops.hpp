@@ -1,0 +1,88 @@
+// Runtime-dispatched reduction operators for the ownership-aware
+// reduce_scatter / allreduce family. The templated reductions in
+// coll/reduce.hpp fix the element type at compile time; the fuzz and
+// verify layers instead sample (operator, datatype) pairs at runtime, so
+// this header provides the small closed set they draw from, the combine
+// kernel, and the deterministic contribution/oracle values the differential
+// harness compares buffers against byte-for-byte.
+//
+// Ordering discipline: combine_into(dst, src) computes dst = op(src, dst)
+// — `src` carries the EARLIER (left-fold) contributions. Floating-point
+// addition is not associative, so every collective fixes one fold order and
+// the oracle replays exactly that order; the threaded run must then match
+// bitwise even under fault-injected message reordering (per-rank program
+// order, and hence the combine order, is unaffected by faults).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace bsb::coll {
+
+enum class RedOp : std::uint8_t { Sum, Max };
+enum class RedDtype : std::uint8_t { I32, F64 };
+
+const char* to_string(RedOp op) noexcept;
+const char* to_string(RedDtype dtype) noexcept;
+std::optional<RedOp> red_op_from_string(const std::string& name);
+std::optional<RedDtype> red_dtype_from_string(const std::string& name);
+
+/// Element size in bytes (4 for I32, 8 for F64).
+std::uint64_t elem_bytes(RedDtype dtype) noexcept;
+
+/// dst = op(src, dst), elementwise. Both spans must have the same size and
+/// be a whole number of elements.
+void combine_into(RedOp op, RedDtype dtype, std::span<std::byte> dst,
+                  std::span<const std::byte> src);
+
+/// Deterministic contribution of (rank, element) under `seed`, written as
+/// the element's raw bytes into `out` (out.size() == elem_bytes(dtype)).
+/// I32 values stay in [-125, 125] so sums over thousands of ranks cannot
+/// overflow; F64 values mix magnitudes 2^0..2^12 with a 2^-48 tail so that
+/// summing them ROUNDS — any deviation from the contracted fold order
+/// changes the result bitwise and the byte oracle catches it.
+void contribution(RedDtype dtype, std::uint64_t seed, int rank,
+                  std::uint64_t elem, std::span<std::byte> out);
+
+/// Fill `buf` (a whole number of elements, holding elements
+/// [first_elem, first_elem + n)) with `rank`'s contributions.
+void fill_contributions(RedDtype dtype, std::uint64_t seed, int rank,
+                        std::uint64_t first_elem, std::span<std::byte> buf);
+
+/// Oracle for the ring reduce_scatter family: the final value of one
+/// element of chunk `chunk_rel` is the left fold, in ring arrival order,
+/// over relative ranks chunk_rel+1, chunk_rel+2, ..., chunk_rel (mod P) —
+/// i.e. acc starts at the chunk's first contributor and folds each later
+/// arrival on the right, the exact order reduce_scatter_ring combines in.
+void ring_reduced_value(RedOp op, RedDtype dtype, std::uint64_t seed, int P,
+                        int root, int chunk_rel, std::uint64_t elem,
+                        std::span<std::byte> out);
+
+/// Oracle for the recursive-doubling allreduce (power-of-two P, rootless):
+/// the balanced-tree fold op(fold(lo..mid), fold(mid..hi)) over absolute
+/// ranks — the grouping rank 0 actually computes; every other rank's value
+/// is bitwise equal because each top-level application commutes (IEEE
+/// addition and max are commutative on the generated values).
+void rd_reduced_value(RedOp op, RedDtype dtype, std::uint64_t seed, int P,
+                      std::uint64_t elem, std::span<std::byte> out);
+
+}  // namespace bsb::coll
+
+namespace bsb {
+class Comm;
+}
+
+namespace bsb::coll {
+
+/// Runtime-dispatched front end for the templated coll::allreduce (the
+/// recursive-doubling path for power-of-two groups): reinterprets `buf` as
+/// elements of `dtype` IN PLACE, so recorded schedules carry real buffer
+/// offsets. Requires buf to be element-aligned and a whole number of
+/// elements.
+void allreduce_typed(Comm& comm, std::span<std::byte> buf, RedOp op,
+                     RedDtype dtype);
+
+}  // namespace bsb::coll

@@ -1,0 +1,83 @@
+#include "coll/reduce_scatter_ring.hpp"
+
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::coll {
+
+void reduce_scatter_ring(Comm& comm, std::span<std::byte> buf, int root,
+                         RedOp op, RedDtype dtype) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  const std::uint64_t nbytes = buf.size();
+  BSB_REQUIRE(nbytes % (static_cast<std::uint64_t>(P) * elem_bytes(dtype)) == 0,
+              "reduce_scatter_ring: nbytes must be a multiple of P * elem size");
+  if (P == 1) return;
+  const ChunkLayout layout(nbytes, P);
+  const std::uint64_t chunk_bytes = layout.scatter_size();
+
+  const int rel = rel_rank(me, root, P);
+  const int right = abs_rank((rel + 1) % P, root, P);
+  const int left = abs_rank((rel + P - 1) % P, root, P);
+
+  // Partials arrive into scratch, never in place: the home offset of an
+  // incoming chunk still holds THIS rank's yet-unfolded contribution, which
+  // combine_into consumes as the right operand. Sends always leave from the
+  // chunks' home offsets in `buf`, so recorded schedules carry real source
+  // offsets and the reduce-flow validator can key contributor intervals on
+  // them.
+  std::vector<std::byte> incoming(chunk_bytes);
+  for (int s = 1; s < P; ++s) {
+    const int send_c = (rel - s + P) % P;
+    const int recv_c = (rel - s - 1 + 2 * P) % P;
+    comm.sendrecv(layout.chunk(std::span<const std::byte>(buf), send_c), right,
+                  tags::kReduceScatterRing, incoming, left,
+                  tags::kReduceScatterRing);
+    combine_into(op, dtype, layout.chunk(buf, recv_c), incoming);
+  }
+}
+
+void reduce_scatter_blocks_ring(Comm& comm, std::span<std::byte> buf, int root,
+                                RedOp op, RedDtype dtype,
+                                const ReduceScatterBlocksOptions& opts) {
+  reduce_scatter_ring(comm, buf, root, op, dtype);
+
+  const int P = comm.size();
+  const int me = comm.rank();
+  if (P == 1) return;
+  const ChunkLayout layout(buf.size(), P);
+  const int rel = rel_rank(me, root, P);
+
+  // Phase B: ship the finished chunk straight to every binomial ancestor.
+  // Rank r's ancestors are found by successively clearing the lowest set
+  // bit, so there are popcount(r) of them, and each ancestor a satisfies
+  // r in [a, a + span(a)) — the delivery rebuilds exactly the post-scatter
+  // block ownership. All sends precede all receives on every rank;
+  // dependencies only ever point from a chunk to strictly smaller chunk
+  // indices, so the schedule is acyclic (and bsb-verify's happens-before
+  // pass proves it deadlock-free instance by instance).
+  for (int a = rel; a != 0;) {
+    a -= a & -a;
+    comm.send(layout.chunk(std::span<const std::byte>(buf), rel),
+              abs_rank(a, root, P), tags::kReduceScatterFinal);
+    if (opts.sabotage_double_final && a == rel - (rel & -rel)) {
+      comm.send(layout.chunk(std::span<const std::byte>(buf), rel),
+                abs_rank(a, root, P), tags::kReduceScatterFinal);
+    }
+  }
+  const int span = scatter_subtree_span(rel, P);
+  for (int c = rel + 1; c < rel + span; ++c) {
+    comm.recv(layout.chunk(buf, c), abs_rank(c, root, P),
+              tags::kReduceScatterFinal);
+    if (opts.sabotage_double_final && c - (c & -c) == rel) {
+      comm.recv(layout.chunk(buf, c), abs_rank(c, root, P),
+                tags::kReduceScatterFinal);
+    }
+  }
+}
+
+}  // namespace bsb::coll

@@ -1,0 +1,64 @@
+// Ownership-aware ring reduce_scatter — the paper's non-enclosed trick
+// generalized to the reduction direction.
+//
+// Phase A (both variants) is the classic in-place ring: at step s, relative
+// rank r sends partial chunk (r - s) mod P to its right neighbour and folds
+// the incoming partial chunk (r - s - 1) mod P from its left neighbour into
+// its buffer. After P-1 steps, rank r's buffer holds the FULLY reduced
+// chunk r at the chunk's home offset. Chunk c's fold order is fixed: the
+// partial starts at relative rank c+1 and each later ring hop folds its
+// contribution on the right (combine_into's contract), the owner folding
+// last — reduce_ops.hpp's ring_reduced_value replays exactly this order.
+//
+// reduce_scatter_blocks_ring adds phase B, the ownership-aware delivery:
+// instead of each rank keeping only its own chunk, every rank ends holding
+// the same contiguous block [r, r + span(r)) that the binomial scatter of
+// the tuned broadcast would have assigned it (scatter_subtree_span). Rank
+// r != 0 sends its finished chunk r directly to each of its popcount(r)
+// binomial ancestors (successively clearing the lowest set bit); rank a
+// receives chunks a+1 .. a+span(a)-1 in ascending order. The two closed
+// forms agree — sum_r popcount(r) == sum_r (span(r) - 1) == the tuned
+// broadcast's ring savings — so phase B costs EXACTLY the transfers the
+// tuned broadcast saves, and a reduce_scatter_blocks + tuned-allgather
+// allreduce moves 2P(P-1) messages: zero redundancy (proved by bsb-verify's
+// reduce-flow engine, which certifies every delivered partial is combined
+// exactly once).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "coll/reduce_ops.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::coll {
+
+/// In-place ring reduce_scatter over P uniform chunks. `buf` holds this
+/// rank's full nbytes contribution on entry; on exit chunk rel_rank(rank)
+/// (at its home offset) holds the reduction over all ranks. Requires
+/// nbytes % (P * elem_bytes(dtype)) == 0 so every chunk is a whole number
+/// of elements. Other chunks are left holding partials (garbage to callers).
+void reduce_scatter_ring(Comm& comm, std::span<std::byte> buf, int root,
+                         RedOp op, RedDtype dtype);
+
+struct ReduceScatterBlocksOptions {
+  /// Fault injection for the verifier's sabotage sweep: every non-zero
+  /// relative rank sends its finished chunk TWICE to its nearest ancestor
+  /// (which posts the matching double receive). The run still completes and
+  /// computes correct values — but bsb-verify's reduce-flow engine must
+  /// flag the second delivery as a redundant complete-over-complete
+  /// combine, and the closed-form transfer counts no longer match.
+  bool sabotage_double_final = false;
+};
+
+/// Ring reduce_scatter followed by ownership-aware block delivery: on exit
+/// relative rank r holds fully reduced chunks [r, r + span(r)) at their
+/// home offsets, where span = scatter_subtree_span — the block ownership
+/// the tuned broadcast's binomial scatter establishes. Same alignment
+/// requirement as reduce_scatter_ring.
+void reduce_scatter_blocks_ring(Comm& comm, std::span<std::byte> buf, int root,
+                                RedOp op, RedDtype dtype,
+                                const ReduceScatterBlocksOptions& opts = {});
+
+}  // namespace bsb::coll

@@ -17,5 +17,12 @@ inline constexpr int kAllreduce = 10;
 inline constexpr int kNeighborExchange = 11;
 inline constexpr int kAlltoall = 12;
 inline constexpr int kStandaloneScatter = 13;
+inline constexpr int kReduceScatterRing = 14;
+inline constexpr int kReduceScatterFinal = 15;
+inline constexpr int kAllgathervRing = 16;
+inline constexpr int kAllgathervRingTuned = 17;
+inline constexpr int kBruckHierGather = 18;
+inline constexpr int kBruckHierExchange = 19;
+inline constexpr int kBruckHierBcast = 20;
 
 }  // namespace bsb::coll::tags

@@ -1,0 +1,41 @@
+#include "comm/vchunks.hpp"
+
+#include "bsbutil/rng.hpp"
+
+namespace bsb {
+
+std::vector<std::uint64_t> skewed_counts(int nchunks, std::uint64_t nbytes,
+                                         std::uint64_t seed) {
+  BSB_REQUIRE(nchunks >= 1, "skewed_counts: need at least one chunk");
+  SplitMix64 rng(seed ^ 0x7a5c9d3fb1e08642ULL);
+  std::vector<std::uint64_t> weights(static_cast<std::size_t>(nchunks));
+  std::uint64_t total_weight = 0;
+  for (auto& w : weights) {
+    w = rng.next() % 8;  // 0..7; ~1/8 of the chunks get a zero-sized block
+    total_weight += w;
+  }
+  if (total_weight == 0) {
+    weights[0] = 1;
+    total_weight = 1;
+  }
+
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nchunks), 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    // nbytes <= 2^61 in practice (weights < 8), so the product cannot wrap.
+    counts[i] = nbytes * weights[i] / total_weight;
+    assigned += counts[i];
+  }
+  // Hand the rounding remainder out one byte at a time to the weighted
+  // chunks, in index order: zero-weight chunks stay exactly zero and the
+  // counts sum to nbytes with no drift.
+  std::uint64_t rest = nbytes - assigned;
+  for (std::size_t i = 0; rest > 0; i = (i + 1) % counts.size()) {
+    if (weights[i] == 0) continue;
+    ++counts[i];
+    --rest;
+  }
+  return counts;
+}
+
+}  // namespace bsb

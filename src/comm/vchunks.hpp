@@ -1,0 +1,87 @@
+// Variable-size chunk layout for the allgatherv family: the same chunk
+// indexing as ChunkLayout (chunk i is owned by the rank with RELATIVE rank
+// i), but with an arbitrary per-chunk byte count — including zero-sized
+// chunks — instead of the uniform ceil(nbytes/P) split.
+//
+// The non-enclosed ring optimization is size-oblivious: RingPlan depends
+// only on chunk COUNTS (binomial subtree structure), never on chunk sizes,
+// so the tuned allgatherv reuses compute_ring_plan unchanged and VarLayout
+// only changes which byte ranges each scheduled message carries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb {
+
+/// Division of a buffer into contiguous chunks of caller-chosen sizes.
+class VarLayout {
+ public:
+  /// `counts[i]` is the byte count of chunk i; displacements are the prefix
+  /// sums (chunks are contiguous and in order, like MPI_Allgatherv with
+  /// displs[i] = sum of counts[0..i)).
+  explicit VarLayout(std::vector<std::uint64_t> counts)
+      : counts_(std::move(counts)), disp_(counts_.size() + 1, 0) {
+    BSB_REQUIRE(!counts_.empty(), "VarLayout: need at least one chunk");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      disp_[i + 1] = disp_[i] + counts_[i];
+    }
+  }
+
+  std::uint64_t nbytes() const noexcept { return disp_.back(); }
+  int nchunks() const noexcept { return static_cast<int>(counts_.size()); }
+
+  /// Byte offset of chunk i (== nbytes() for i == nchunks()).
+  std::uint64_t disp(int i) const {
+    BSB_REQUIRE(i >= 0 && i <= nchunks(), "VarLayout: chunk index out of range");
+    return disp_[static_cast<std::size_t>(i)];
+  }
+
+  /// Byte count of chunk i (possibly 0).
+  std::uint64_t count(int i) const {
+    check_index(i);
+    return counts_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total bytes of the contiguous chunk range [first, first+n).
+  std::uint64_t range_count(int first, int n) const {
+    BSB_REQUIRE(n >= 0 && first >= 0 && first + n <= nchunks(),
+                "VarLayout: chunk range out of bounds");
+    return disp_[static_cast<std::size_t>(first + n)] -
+           disp_[static_cast<std::size_t>(first)];
+  }
+
+  /// Subspan of `buffer` holding chunk i.
+  std::span<std::byte> chunk(std::span<std::byte> buffer, int i) const {
+    check_index(i);
+    BSB_REQUIRE(buffer.size() >= nbytes(), "VarLayout: buffer smaller than nbytes");
+    return buffer.subspan(disp(i), count(i));
+  }
+  std::span<const std::byte> chunk(std::span<const std::byte> buffer, int i) const {
+    check_index(i);
+    BSB_REQUIRE(buffer.size() >= nbytes(), "VarLayout: buffer smaller than nbytes");
+    return buffer.subspan(disp(i), count(i));
+  }
+
+ private:
+  void check_index(int i) const {
+    BSB_REQUIRE(i >= 0 && i < nchunks(), "VarLayout: chunk index out of range");
+  }
+
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> disp_;
+};
+
+/// Deterministic skewed block-size vector: `nchunks` counts that sum to
+/// EXACTLY `nbytes`, with pseudo-random weights drawn from `seed` (about
+/// one chunk in eight gets weight zero, so zero-sized blocks are a routine
+/// input, not an edge case). Shared by the fuzz generator, the verifier's
+/// sweep contracts and the property tests, so all three agree on the
+/// partition byte-for-byte.
+std::vector<std::uint64_t> skewed_counts(int nchunks, std::uint64_t nbytes,
+                                         std::uint64_t seed);
+
+}  // namespace bsb

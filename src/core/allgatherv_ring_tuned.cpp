@@ -1,0 +1,51 @@
+#include "core/allgatherv_ring_tuned.hpp"
+
+#include "bsbutil/error.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+#include "core/ring_plan.hpp"
+
+namespace bsb::core {
+
+void allgatherv_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                           const VarLayout& layout) {
+  allgatherv_ring_tuned(comm, buffer, root, layout, compute_ring_plan);
+}
+
+void allgatherv_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                           const VarLayout& layout, const RingPlanFn& plan_fn) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(layout.nchunks() == P,
+              "allgatherv_ring_tuned: layout chunk count != P");
+  BSB_REQUIRE(buffer.size() >= layout.nbytes(),
+              "allgatherv_ring_tuned: buffer too small");
+
+  const int left = (P + me - 1) % P;
+  const int right = (me + 1) % P;
+  int j = me;
+  int jnext = left;
+
+  const RingPlan plan = plan_fn(rel_rank(me, root, P), P);
+
+  for (int i = 1; i < P; ++i) {
+    const int rel_j = rel_rank(j, root, P);
+    const int rel_jnext = rel_rank(jnext, root, P);
+    const auto send_chunk = layout.chunk(std::span<const std::byte>(buffer), rel_j);
+    const auto recv_chunk = layout.chunk(buffer, rel_jnext);
+
+    if (!is_special_step(plan, i, P)) {
+      comm.sendrecv(send_chunk, right, coll::tags::kAllgathervRingTuned,
+                    recv_chunk, left, coll::tags::kAllgathervRingTuned);
+    } else if (plan.recv_only) {
+      comm.recv(recv_chunk, left, coll::tags::kAllgathervRingTuned);
+    } else {
+      comm.send(send_chunk, right, coll::tags::kAllgathervRingTuned);
+    }
+
+    j = jnext;
+    jnext = (P + jnext - 1) % P;
+  }
+}
+
+}  // namespace bsb::core

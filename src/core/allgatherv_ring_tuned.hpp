@@ -1,0 +1,34 @@
+// Tuned (non-enclosed) ring allgatherv: the paper's optimization carried
+// over to skewed block sizes. The key observation making this a one-line
+// generalization: RingPlan depends only on each rank's position in the
+// binomial scatter tree — on chunk COUNTS, never chunk SIZES — so the
+// skip structure (which steps a rank goes send-only or receive-only) is
+// byte-for-byte the schedule of the uniform tuned ring, and the tuned
+// MESSAGE counts (total P(P-1) - savings, per-rank tuned_sends /
+// tuned_recvs) are identical to the uniform case. Only the payload sizes
+// change; the redundancy eliminated is whatever the skewed layout says
+// those skipped chunks weigh.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "comm/comm.hpp"
+#include "comm/vchunks.hpp"
+#include "core/allgather_ring_tuned.hpp"
+
+namespace bsb::core {
+
+/// Run the tuned ring allgatherv over chunks with the post-binomial-
+/// scatter block ownership (relative rank r holds chunks
+/// [r, r + scatter_subtree_span(r)) at home offsets). On return every rank
+/// holds all layout.nbytes() bytes.
+void allgatherv_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                           const VarLayout& layout);
+
+/// As above with the per-rank plan supplied by `plan_fn` (sabotage hook for
+/// the fuzz harness; see allgather_ring_tuned.hpp).
+void allgatherv_ring_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                           const VarLayout& layout, const RingPlanFn& plan_fn);
+
+}  // namespace bsb::core

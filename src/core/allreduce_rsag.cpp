@@ -1,0 +1,29 @@
+#include "core/allreduce_rsag.hpp"
+
+#include "coll/allgather_ring_native.hpp"
+#include "coll/reduce_scatter_ring.hpp"
+#include "comm/chunks.hpp"
+#include "core/ring_plan.hpp"
+
+namespace bsb::core {
+
+void allreduce_rsag_native(Comm& comm, std::span<std::byte> buf, int root,
+                           coll::RedOp op, coll::RedDtype dtype) {
+  coll::reduce_scatter_blocks_ring(comm, buf, root, op, dtype);
+  coll::allgather_ring_native(comm, buf, root, ChunkLayout(buf.size(), comm.size()));
+}
+
+void allreduce_rsag_tuned(Comm& comm, std::span<std::byte> buf, int root,
+                          coll::RedOp op, coll::RedDtype dtype) {
+  allreduce_rsag_tuned(comm, buf, root, op, dtype, compute_ring_plan);
+}
+
+void allreduce_rsag_tuned(Comm& comm, std::span<std::byte> buf, int root,
+                          coll::RedOp op, coll::RedDtype dtype,
+                          const RingPlanFn& plan_fn) {
+  coll::reduce_scatter_blocks_ring(comm, buf, root, op, dtype);
+  allgather_ring_tuned(comm, buf, root, ChunkLayout(buf.size(), comm.size()),
+                       plan_fn);
+}
+
+}  // namespace bsb::core

@@ -1,0 +1,45 @@
+// Allreduce as reduce_scatter + allgather (Rabenseifner's decomposition),
+// in the two flavours the paper's trick distinguishes:
+//
+//   * NATIVE:  blocks-variant reduce_scatter (every rank ends owning its
+//              binomial block) followed by the ENCLOSED ring allgather,
+//              which ignores that ownership and re-ships the block chunks —
+//              the redundancy is exactly native_ring_redundancy, the same
+//              excess the enclosed broadcast pays;
+//   * TUNED:   the same reduce_scatter followed by the tuned ring
+//              allgather, which skips precisely those transfers.
+//
+// The message-count algebra is the punchline of the generalization: the
+// blocks reduce_scatter costs P(P-1) + savings(P) (its phase-B delivery IS
+// the savings, by the popcount identity), so
+//     native total = [P(P-1) + savings] + P(P-1)        (redundant)
+//     tuned  total = [P(P-1) + savings] + [P(P-1) - savings] = 2P(P-1)
+// e.g. P=8: 124 -> 112, P=10: 195 -> 180 — the allreduce analogue of the
+// paper's 56 -> 44 and 90 -> 75 broadcast anchors, with bsb-verify proving
+// the tuned path ships zero redundant bytes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/reduce_ops.hpp"
+#include "comm/comm.hpp"
+#include "core/allgather_ring_tuned.hpp"
+
+namespace bsb::core {
+
+/// buf holds this rank's full contribution on entry, the elementwise
+/// reduction over all ranks on exit. Requires nbytes % (P * elem) == 0.
+void allreduce_rsag_native(Comm& comm, std::span<std::byte> buf, int root,
+                           coll::RedOp op, coll::RedDtype dtype);
+
+void allreduce_rsag_tuned(Comm& comm, std::span<std::byte> buf, int root,
+                          coll::RedOp op, coll::RedDtype dtype);
+
+/// Sabotage hook: tuned variant with the allgather phase's ring plans
+/// supplied by `plan_fn` (see allgather_ring_tuned.hpp).
+void allreduce_rsag_tuned(Comm& comm, std::span<std::byte> buf, int root,
+                          coll::RedOp op, coll::RedDtype dtype,
+                          const RingPlanFn& plan_fn);
+
+}  // namespace bsb::core

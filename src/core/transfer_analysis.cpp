@@ -4,6 +4,7 @@
 
 #include "bsbutil/error.hpp"
 #include "bsbutil/format.hpp"
+#include "bsbutil/math.hpp"
 #include "bsbutil/table.hpp"
 #include "comm/chunks.hpp"
 #include "core/ring_plan.hpp"
@@ -40,6 +41,35 @@ std::uint64_t scatter_transfers(int comm_size, std::uint64_t nbytes) {
   return msgs;
 }
 
+int block_ancestors(int rel) {
+  BSB_REQUIRE(rel >= 0, "block_ancestors: rel >= 0");
+  int count = 0;
+  for (int a = rel; a != 0; a -= a & -a) ++count;
+  return count;
+}
+
+std::uint64_t blocked_reduce_scatter_transfers(int comm_size) {
+  return native_ring_transfers(comm_size) + tuned_ring_savings(comm_size);
+}
+
+std::uint64_t allreduce_rsag_native_transfers(int comm_size) {
+  return blocked_reduce_scatter_transfers(comm_size) +
+         native_ring_transfers(comm_size);
+}
+
+std::uint64_t allreduce_rsag_tuned_transfers(int comm_size) {
+  return blocked_reduce_scatter_transfers(comm_size) +
+         tuned_ring_transfers(comm_size);
+}
+
+std::uint64_t bruck_hier_transfers(int comm_size, int cores_per_node) {
+  BSB_REQUIRE(comm_size >= 1 && cores_per_node >= 1,
+              "bruck_hier_transfers: comm_size and cores >= 1");
+  const std::uint64_t P = static_cast<std::uint64_t>(comm_size);
+  const std::uint64_t L = ceil_div(P, static_cast<std::uint64_t>(cores_per_node));
+  return 2 * (P - L) + L * static_cast<std::uint64_t>(ceil_log2(L));
+}
+
 double tuned_saving_fraction(int comm_size) {
   const std::uint64_t native = native_ring_transfers(comm_size);
   if (native == 0) return 0.0;
@@ -54,6 +84,17 @@ std::string transfer_table(const std::vector<int>& comm_sizes) {
            std::to_string(tuned_ring_transfers(p)),
            std::to_string(tuned_ring_savings(p)),
            format_fixed(tuned_saving_fraction(p) * 100.0, 1)});
+  }
+  return t.render();
+}
+
+std::string reduce_family_table(const std::vector<int>& comm_sizes) {
+  Table t({"P", "blocked RS", "allreduce native", "allreduce tuned", "saved"});
+  for (int p : comm_sizes) {
+    t.add({std::to_string(p), std::to_string(blocked_reduce_scatter_transfers(p)),
+           std::to_string(allreduce_rsag_native_transfers(p)),
+           std::to_string(allreduce_rsag_tuned_transfers(p)),
+           std::to_string(tuned_ring_savings(p))});
   }
   return t.render();
 }

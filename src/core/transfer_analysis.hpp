@@ -27,8 +27,37 @@ std::uint64_t scatter_transfers(int comm_size, std::uint64_t nbytes);
 /// Savings as a fraction of native transfers, e.g. 12/56 at P=8.
 double tuned_saving_fraction(int comm_size);
 
+/// Binomial ancestors of relative rank `rel` (successively clearing the
+/// lowest set bit until 0) == popcount(rel): the phase-B sends of the
+/// blocks reduce_scatter. The popcount identity
+///     sum_rel popcount(rel) == sum_rel (span(rel) - 1)
+///                           == tuned_ring_savings(P)
+/// is what prices that delivery at exactly the tuned ring's savings.
+int block_ancestors(int rel);
+
+/// Messages of the blocks-variant ring reduce_scatter: the P(P-1) ring
+/// phase plus the ancestor delivery, i.e. P(P-1) + tuned_ring_savings(P).
+std::uint64_t blocked_reduce_scatter_transfers(int comm_size);
+
+/// Messages of the reduce_scatter+allgather allreduce, native (enclosed
+/// allgather) flavour: blocked_reduce_scatter + P(P-1).
+std::uint64_t allreduce_rsag_native_transfers(int comm_size);
+
+/// Tuned flavour: blocked_reduce_scatter + tuned ring == exactly 2P(P-1)
+/// (the phase-B delivery and the allgather savings cancel).
+std::uint64_t allreduce_rsag_tuned_transfers(int comm_size);
+
+/// Messages of the hierarchical Bruck allgather over blocked nodes of
+/// `cores_per_node` ranks: 2(P - L) + L * ceil(log2(L)) with
+/// L = ceil(P / cores_per_node).
+std::uint64_t bruck_hier_transfers(int comm_size, int cores_per_node);
+
 /// Tabulated summary for a range of process counts (used by the
 /// transfer-count bench and DESIGN/EXPERIMENTS docs).
 std::string transfer_table(const std::vector<int>& comm_sizes);
+
+/// Companion table for the ownership-aware reduction family: blocked
+/// reduce_scatter, native vs tuned allreduce totals and the saving.
+std::string reduce_family_table(const std::vector<int>& comm_sizes);
 
 }  // namespace bsb::core

@@ -25,26 +25,60 @@ constexpr std::array<Variant, kNumVariants> kAllVariants = {
     Variant::AllgatherRecursiveDoubling,
     Variant::AllgatherBruck,
     Variant::AllgatherNeighborExchange,
+    Variant::ReduceScatterRing,
+    Variant::ReduceScatterBlocks,
+    Variant::AllreduceRsAgNative,
+    Variant::AllreduceRsAgTuned,
+    Variant::AllreduceRecursiveDoubling,
+    Variant::AllgathervRingNative,
+    Variant::AllgathervRingTuned,
+    Variant::AllgatherBruckHier,
 };
 
 std::uint64_t case_key(std::uint64_t seed, std::uint64_t index) noexcept {
   return (seed ^ 0x5DEECE66DULL) * 0x100000001b3ULL + index * 0x9e3779b97f4a7c15ULL;
 }
 
-bool is_allgather(Variant v) noexcept {
+}  // namespace
+
+bool is_block_allgather(Variant v) noexcept {
   switch (v) {
     case Variant::AllgatherRingNative:
     case Variant::AllgatherRingTuned:
     case Variant::AllgatherRecursiveDoubling:
     case Variant::AllgatherBruck:
     case Variant::AllgatherNeighborExchange:
+    case Variant::AllgatherBruckHier:
       return true;
     default:
       return false;
   }
 }
 
-}  // namespace
+bool is_reduce_family(Variant v) noexcept {
+  switch (v) {
+    case Variant::ReduceScatterRing:
+    case Variant::ReduceScatterBlocks:
+    case Variant::AllreduceRsAgNative:
+    case Variant::AllreduceRsAgTuned:
+    case Variant::AllreduceRecursiveDoubling:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_allgatherv(Variant v) noexcept {
+  return v == Variant::AllgathervRingNative ||
+         v == Variant::AllgathervRingTuned;
+}
+
+bool is_rootless(Variant v) noexcept {
+  return v == Variant::AllgatherBruck ||
+         v == Variant::AllgatherNeighborExchange ||
+         v == Variant::AllreduceRecursiveDoubling ||
+         v == Variant::AllgatherBruckHier;
+}
 
 const char* to_string(Variant v) noexcept {
   switch (v) {
@@ -61,6 +95,14 @@ const char* to_string(Variant v) noexcept {
     case Variant::AllgatherRecursiveDoubling: return "allgather-recursive-doubling";
     case Variant::AllgatherBruck: return "allgather-bruck";
     case Variant::AllgatherNeighborExchange: return "allgather-neighbor-exchange";
+    case Variant::ReduceScatterRing: return "reduce-scatter-ring";
+    case Variant::ReduceScatterBlocks: return "reduce-scatter-blocks";
+    case Variant::AllreduceRsAgNative: return "allreduce-rsag-native";
+    case Variant::AllreduceRsAgTuned: return "allreduce-rsag-tuned";
+    case Variant::AllreduceRecursiveDoubling: return "allreduce-recursive-doubling";
+    case Variant::AllgathervRingNative: return "allgatherv-ring-native";
+    case Variant::AllgathervRingTuned: return "allgatherv-ring-tuned";
+    case Variant::AllgatherBruckHier: return "allgather-bruck-hier";
   }
   return "?";
 }
@@ -79,6 +121,7 @@ int fit_ranks(Variant v, int nranks) noexcept {
   switch (v) {
     case Variant::BcastScatterRd:
     case Variant::AllgatherRecursiveDoubling:
+    case Variant::AllreduceRecursiveDoubling:
       // Round down to a power of two.
       while ((n & (n - 1)) != 0) n &= n - 1;
       return std::max(n, 2);
@@ -87,6 +130,23 @@ int fit_ranks(Variant v, int nranks) noexcept {
     default:
       return n;
   }
+}
+
+FuzzCase normalize_case(FuzzCase c) {
+  c.nranks = fit_ranks(c.variant, c.nranks);
+  c.root = is_rootless(c.variant) ? 0 : c.root % c.nranks;
+  if (is_block_allgather(c.variant)) {
+    std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(c.nranks);
+    if (block == 0) block = 1;
+    c.nbytes = block * static_cast<std::uint64_t>(c.nranks);
+  }
+  if (is_reduce_family(c.variant)) {
+    const std::uint64_t grain =
+        static_cast<std::uint64_t>(c.nranks) * coll::elem_bytes(c.red_dtype);
+    c.nbytes -= c.nbytes % grain;
+    if (c.nbytes == 0) c.nbytes = grain;
+  }
+  return c;
 }
 
 FuzzCase sample_case(std::uint64_t seed, std::uint64_t index,
@@ -144,16 +204,27 @@ FuzzCase sample_case(std::uint64_t seed, std::uint64_t index,
   const std::uint64_t align = kAlignments[rng.next_below(kAlignments.size())];
   if (rng.next_double() < 0.5 && c.nbytes >= align) c.nbytes -= c.nbytes % align;
 
-  if (is_allgather(c.variant)) {
+  if (is_block_allgather(c.variant)) {
     // Standalone allgathers of equal blocks need nbytes divisible by P.
     std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(c.nranks);
     if (block == 0) block = 1 + rng.next_below(64);
     c.nbytes = block * static_cast<std::uint64_t>(c.nranks);
   }
 
-  const bool rootless = c.variant == Variant::AllgatherBruck ||
-                        c.variant == Variant::AllgatherNeighborExchange;
-  c.root = rootless ? 0 : static_cast<int>(rng.next_below(c.nranks));
+  if (is_reduce_family(c.variant)) {
+    c.red_op = rng.next_below(2) == 0 ? coll::RedOp::Sum : coll::RedOp::Max;
+    c.red_dtype =
+        rng.next_below(2) == 0 ? coll::RedDtype::I32 : coll::RedDtype::F64;
+    // Reductions need whole elements per uniform chunk.
+    const std::uint64_t grain =
+        static_cast<std::uint64_t>(c.nranks) * coll::elem_bytes(c.red_dtype);
+    c.nbytes -= c.nbytes % grain;
+    if (c.nbytes == 0) c.nbytes = grain * (1 + rng.next_below(32));
+  }
+
+  if (is_allgatherv(c.variant)) c.skew_seed = rng.next();
+
+  c.root = is_rootless(c.variant) ? 0 : static_cast<int>(rng.next_below(c.nranks));
 
   static constexpr std::array<std::uint64_t, 4> kSegments = {0, 512, 4096, 16384};
   c.segment_bytes = kSegments[rng.next_below(kSegments.size())];
@@ -193,13 +264,20 @@ std::string describe(const FuzzCase& c) {
   if (c.variant == Variant::BcastRingPipelined) {
     s += " segment=" + std::to_string(c.segment_bytes);
   }
-  if (c.variant == Variant::BcastSmp) {
+  if (c.variant == Variant::BcastSmp || c.variant == Variant::AllgatherBruckHier) {
     s += " cores/node=" + std::to_string(c.smp_cores_per_node);
   }
   if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent) {
     s += " smsg=" + std::to_string(c.smsg_limit) +
          " mmsg=" + std::to_string(c.mmsg_limit) +
          " tuned=" + (c.use_tuned_ring ? "1" : "0");
+  }
+  if (is_reduce_family(c.variant)) {
+    s += std::string(" op=") + to_string(c.red_op) +
+         " dtype=" + to_string(c.red_dtype);
+  }
+  if (is_allgatherv(c.variant)) {
+    s += " skew-seed=" + std::to_string(c.skew_seed);
   }
   if (c.faults.enabled) {
     s += " faults{seed=" + std::to_string(c.faults.seed) +
@@ -229,13 +307,20 @@ std::string explicit_reproducer(const FuzzCase& c) {
   if (c.variant == Variant::BcastRingPipelined) {
     s += " --segment=" + std::to_string(c.segment_bytes);
   }
-  if (c.variant == Variant::BcastSmp) {
+  if (c.variant == Variant::BcastSmp || c.variant == Variant::AllgatherBruckHier) {
     s += " --smp-cores=" + std::to_string(c.smp_cores_per_node);
   }
   if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent) {
     s += " --smsg=" + std::to_string(c.smsg_limit) +
          " --mmsg=" + std::to_string(c.mmsg_limit) +
          " --tuned=" + (c.use_tuned_ring ? "1" : "0");
+  }
+  if (is_reduce_family(c.variant)) {
+    s += std::string(" --op=") + to_string(c.red_op);
+    s += std::string(" --dtype=") + to_string(c.red_dtype);
+  }
+  if (is_allgatherv(c.variant)) {
+    s += " --skew-seed=" + std::to_string(c.skew_seed);
   }
   if (c.faults.enabled) {
     s += " --fault-seed=" + std::to_string(c.faults.seed);

@@ -10,11 +10,13 @@
 #include <span>
 #include <string>
 
+#include "coll/reduce_ops.hpp"
 #include "mpisim/world.hpp"
 
 namespace bsb::fuzz {
 
-/// Every broadcast/allgather implementation in src/coll and src/core.
+/// Every broadcast/allgather/reduction implementation in src/coll and
+/// src/core.
 enum class Variant : std::uint8_t {
   BcastBinomial,
   BcastScatterRd,          // requires power-of-two ranks
@@ -29,9 +31,20 @@ enum class Variant : std::uint8_t {
   AllgatherRecursiveDoubling,  // requires power-of-two ranks
   AllgatherBruck,
   AllgatherNeighborExchange,   // requires an even rank count
+  // Ownership-aware reduction family (the paper's trick beyond bcast).
+  ReduceScatterRing,           // plain ring: each rank keeps its own chunk
+  ReduceScatterBlocks,         // ring + ancestor delivery: binomial blocks
+  AllreduceRsAgNative,         // blocks reduce_scatter + ENCLOSED allgather
+  AllreduceRsAgTuned,          // blocks reduce_scatter + tuned allgather
+  AllreduceRecursiveDoubling,  // requires power-of-two ranks; rootless
+  // Skewed-block (allgatherv) generalization.
+  AllgathervRingNative,
+  AllgathervRingTuned,
+  // Locality-aware comparison point.
+  AllgatherBruckHier,          // rootless; uses smp_cores_per_node
 };
 
-inline constexpr int kNumVariants = 13;
+inline constexpr int kNumVariants = 21;
 
 const char* to_string(Variant v) noexcept;
 std::optional<Variant> variant_from_string(const std::string& name);
@@ -42,6 +55,25 @@ std::span<const Variant> all_variants() noexcept;
 /// Smallest adjustment of `nranks` (downwards) that satisfies the
 /// variant's structural requirement (power-of-two / even / >= 2).
 int fit_ranks(Variant v, int nranks) noexcept;
+
+/// Variant classification, shared by the generator, the shrinker and the
+/// verifier so shape constraints stay in one place.
+/// Reduction family: needs (op, dtype) and nbytes % (P * elem) == 0.
+bool is_reduce_family(Variant v) noexcept;
+/// Skewed-block family: needs skew_seed; ANY nbytes is legal.
+bool is_allgatherv(Variant v) noexcept;
+/// Uniform-block allgathers: need nbytes % P == 0.
+bool is_block_allgather(Variant v) noexcept;
+/// Variants with no root parameter (root pinned to 0).
+bool is_rootless(Variant v) noexcept;
+
+struct FuzzCase;
+
+/// Re-establish a case's structural invariants after a field change: clamp
+/// nranks to the variant's requirement, wrap/pin the root, and snap nbytes
+/// to the block or reduction grain. Shared by the shrinker, the verifier
+/// sweep and the CLI replay paths.
+FuzzCase normalize_case(FuzzCase c);
 
 /// One fully specified run. `seed`/`index` identify the generator draw the
 /// case came from; after shrinking they are kept so the report can still
@@ -63,6 +95,12 @@ struct FuzzCase {
   std::size_t eager_threshold = 65536;
   double watchdog_seconds = 20.0;
   mpisim::FaultConfig faults;  // enabled => hostile interleavings
+  // Reduction family only: sampled operator and element type.
+  coll::RedOp red_op = coll::RedOp::Sum;
+  coll::RedDtype red_dtype = coll::RedDtype::F64;
+  // Allgatherv family only: seed of the skewed block-size vector
+  // (comm/vchunks.hpp's skewed_counts shared with the verifier and tests).
+  std::uint64_t skew_seed = 0;
 };
 
 /// Bounds and feature toggles for the generator.

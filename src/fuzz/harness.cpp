@@ -8,16 +8,37 @@ namespace bsb::fuzz {
 namespace {
 
 /// Force a sampled case onto a variant the sabotage can perturb (the
-/// self-test must exercise the tuned ring, not whatever the draw picked).
-FuzzCase force_tuned_variant(FuzzCase c) {
-  c.variant = c.index % 2 == 0 ? Variant::BcastScatterRingTuned
-                               : Variant::AllgatherRingTuned;
+/// self-test must exercise a vulnerable schedule, not whatever the draw
+/// picked).
+FuzzCase force_sabotageable_variant(FuzzCase c, Sabotage sabotage) {
+  if (sabotage == Sabotage::ReduceScatterDoubleFinal) {
+    c.variant = Variant::ReduceScatterBlocks;
+    c.nranks = fit_ranks(c.variant, c.nranks);
+    c.root = c.root % c.nranks;
+    const std::uint64_t grain =
+        static_cast<std::uint64_t>(c.nranks) * coll::elem_bytes(c.red_dtype);
+    c.nbytes -= c.nbytes % grain;
+    if (c.nbytes == 0) c.nbytes = grain;
+    return c;
+  }
+  switch (c.index % 4) {
+    case 0: c.variant = Variant::BcastScatterRingTuned; break;
+    case 1: c.variant = Variant::AllgatherRingTuned; break;
+    case 2: c.variant = Variant::AllgathervRingTuned; break;
+    default: c.variant = Variant::AllreduceRsAgTuned; break;
+  }
   c.nranks = fit_ranks(c.variant, c.nranks);
   c.root = c.root % c.nranks;
   if (c.variant == Variant::AllgatherRingTuned) {
     std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(c.nranks);
     if (block == 0) block = 1;
     c.nbytes = block * static_cast<std::uint64_t>(c.nranks);
+  }
+  if (c.variant == Variant::AllreduceRsAgTuned) {
+    const std::uint64_t grain =
+        static_cast<std::uint64_t>(c.nranks) * coll::elem_bytes(c.red_dtype);
+    c.nbytes -= c.nbytes % grain;
+    if (c.nbytes == 0) c.nbytes = grain;
   }
   return c;
 }
@@ -40,7 +61,7 @@ HarnessReport run_fuzz(const HarnessOptions& opt, std::ostream& out) {
     }
     FuzzCase c = sample_case(opt.seed, opt.first_case + i, opt.gen);
     if (opt.sabotage != Sabotage::None && !sabotage_applies(c, opt.sabotage)) {
-      c = force_tuned_variant(c);
+      c = force_sabotageable_variant(c, opt.sabotage);
     }
     if (opt.verbose) {
       out << "case " << c.index << ": " << describe(c) << "\n";
@@ -93,23 +114,37 @@ HarnessReport run_fuzz(const HarnessOptions& opt, std::ostream& out) {
 }
 
 bool run_selftest(HarnessOptions opt, std::ostream& out) {
-  opt.sabotage = Sabotage::RingPlanStepOffByOne;
   opt.shrink = true;
   opt.max_failures = 1;
   // A short watchdog keeps any sabotage-induced deadlock path quick; the
   // symbolic detectors normally fire long before threads are involved.
   opt.gen.watchdog_seconds = 2.0;
-  out << "self-test: corrupting RingPlan.step by +1; the harness MUST catch it\n";
-  const HarnessReport rep = run_fuzz(opt, out);
-  if (rep.failures == 0) {
-    out << "self-test FAILED: sabotaged schedule was not detected\n";
-    return false;
+
+  struct Probe {
+    Sabotage sabotage;
+    const char* what;
+  };
+  static constexpr Probe kProbes[] = {
+      {Sabotage::RingPlanStepOffByOne,
+       "corrupting RingPlan.step by +1"},
+      {Sabotage::ReduceScatterDoubleFinal,
+       "double-sending reduce_scatter final chunks"},
+  };
+  for (const Probe& probe : kProbes) {
+    HarnessOptions o = opt;
+    o.sabotage = probe.sabotage;
+    out << "self-test: " << probe.what << "; the harness MUST catch it\n";
+    const HarnessReport rep = run_fuzz(o, out);
+    if (rep.failures == 0) {
+      out << "self-test FAILED: sabotaged schedule was not detected\n";
+      return false;
+    }
+    if (rep.first_shrunk.empty() || rep.first_detail.empty()) {
+      out << "self-test FAILED: no shrunk reproducer produced\n";
+      return false;
+    }
+    out << "self-test OK: sabotage detected (" << rep.first_detail << ")\n";
   }
-  if (rep.first_shrunk.empty() || rep.first_detail.empty()) {
-    out << "self-test FAILED: no shrunk reproducer produced\n";
-    return false;
-  }
-  out << "self-test OK: sabotage detected (" << rep.first_detail << ")\n";
   return true;
 }
 

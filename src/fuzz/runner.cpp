@@ -2,7 +2,10 @@
 
 #include <functional>
 #include <mutex>
+#include <utility>
 #include <vector>
+
+#include "bsbutil/math.hpp"
 
 #include "bsbutil/error.hpp"
 #include "bsbutil/rng.hpp"
@@ -14,11 +17,18 @@
 #include "coll/bcast_ring_pipelined.hpp"
 #include "coll/bcast_scatter_rd.hpp"
 #include "coll/bcast_scatter_ring_native.hpp"
+#include "coll/allgather_bruck_hier.hpp"
+#include "coll/allgatherv_ring.hpp"
 #include "coll/bcast_smp.hpp"
+#include "coll/reduce_ops.hpp"
+#include "coll/reduce_scatter_ring.hpp"
 #include "coll/scatter_binomial.hpp"
 #include "comm/chunks.hpp"
 #include "comm/topology.hpp"
+#include "comm/vchunks.hpp"
 #include "core/allgather_ring_tuned.hpp"
+#include "core/allgatherv_ring_tuned.hpp"
+#include "core/allreduce_rsag.hpp"
 #include "core/bcast.hpp"
 #include "core/bcast_scatter_ring_tuned.hpp"
 #include "core/persistent_bcast.hpp"
@@ -124,6 +134,50 @@ RankBody make_rank_body(const FuzzCase& c, Sabotage sabotage) {
         coll::allgather_neighbor_exchange(comm, buf,
                                           buf.size() / comm.size());
       };
+    case Variant::ReduceScatterRing:
+      return [root, op = c.red_op, dt = c.red_dtype](Comm& comm,
+                                                     std::span<std::byte> buf) {
+        coll::reduce_scatter_ring(comm, buf, root, op, dt);
+      };
+    case Variant::ReduceScatterBlocks:
+      return [root, op = c.red_op, dt = c.red_dtype,
+              sabotage](Comm& comm, std::span<std::byte> buf) {
+        coll::ReduceScatterBlocksOptions opts;
+        opts.sabotage_double_final = sabotage == Sabotage::ReduceScatterDoubleFinal;
+        coll::reduce_scatter_blocks_ring(comm, buf, root, op, dt, opts);
+      };
+    case Variant::AllreduceRsAgNative:
+      return [root, op = c.red_op, dt = c.red_dtype](Comm& comm,
+                                                     std::span<std::byte> buf) {
+        core::allreduce_rsag_native(comm, buf, root, op, dt);
+      };
+    case Variant::AllreduceRsAgTuned:
+      return [root, op = c.red_op, dt = c.red_dtype,
+              sabotage](Comm& comm, std::span<std::byte> buf) {
+        core::allreduce_rsag_tuned(comm, buf, root, op, dt, plan_fn_for(sabotage));
+      };
+    case Variant::AllreduceRecursiveDoubling:
+      return [op = c.red_op, dt = c.red_dtype](Comm& comm,
+                                               std::span<std::byte> buf) {
+        coll::allreduce_typed(comm, buf, op, dt);
+      };
+    case Variant::AllgathervRingNative:
+      return [root, skew = c.skew_seed](Comm& comm, std::span<std::byte> buf) {
+        const VarLayout layout(skewed_counts(comm.size(), buf.size(), skew));
+        coll::allgatherv_ring_native(comm, buf, root, layout);
+      };
+    case Variant::AllgathervRingTuned:
+      return [root, skew = c.skew_seed, sabotage](Comm& comm,
+                                                  std::span<std::byte> buf) {
+        const VarLayout layout(skewed_counts(comm.size(), buf.size(), skew));
+        core::allgatherv_ring_tuned(comm, buf, root, layout,
+                                    plan_fn_for(sabotage));
+      };
+    case Variant::AllgatherBruckHier:
+      return [cores = c.smp_cores_per_node](Comm& comm,
+                                            std::span<std::byte> buf) {
+        coll::allgather_bruck_hier(comm, buf, buf.size() / comm.size(), cores);
+      };
   }
   BSB_ASSERT(false, "make_rank_body: unknown variant");
 }
@@ -173,20 +227,86 @@ void fill_initial(const FuzzCase& c, int rank, std::span<std::byte> buf) {
       return;
     }
     case Variant::AllgatherBruck:
-    case Variant::AllgatherNeighborExchange: {
+    case Variant::AllgatherNeighborExchange:
+    case Variant::AllgatherBruckHier: {
       const std::uint64_t block =
           buf.size() / static_cast<std::uint64_t>(c.nranks);
       const std::uint64_t off = static_cast<std::uint64_t>(rank) * block;
       fill_pattern(buf.subspan(off, block), ps, off);
       return;
     }
+    case Variant::AllgathervRingNative:
+    case Variant::AllgathervRingTuned: {
+      // Like the tuned uniform ring, the allgatherv family runs over
+      // post-scatter BLOCK ownership (the tuned variant's skips depend on
+      // it); the skewed layout decides how many bytes that block weighs.
+      const VarLayout layout(skewed_counts(c.nranks, buf.size(), c.skew_seed));
+      const int rel = rel_rank(rank, c.root, c.nranks);
+      const int span = coll::scatter_subtree_span(rel, c.nranks);
+      const std::uint64_t off = layout.disp(rel);
+      fill_pattern(buf.subspan(off, layout.range_count(rel, span)), ps, off);
+      return;
+    }
+    case Variant::ReduceScatterRing:
+    case Variant::ReduceScatterBlocks:
+    case Variant::AllreduceRsAgNative:
+    case Variant::AllreduceRsAgTuned:
+    case Variant::AllreduceRecursiveDoubling:
+      // Reductions: every byte of every rank is a live contribution.
+      coll::fill_contributions(c.red_dtype, ps, rank, 0, buf);
+      return;
   }
 }
 
-std::string check_counts(const char* what, std::uint64_t got,
+/// The byte-exact post-reduction buffer every rank's checked region must
+/// match: chunk c's elements folded in ring arrival order (or the
+/// recursive-doubling tree for that variant). Computed once per case, not
+/// per rank — the fold is O(P) per element.
+std::vector<std::byte> reduce_expected_buffer(const FuzzCase& c) {
+  const std::uint64_t ps = oracle_seed(c);
+  const std::uint64_t es = coll::elem_bytes(c.red_dtype);
+  std::vector<std::byte> expected(c.nbytes);
+  if (c.nbytes == 0) return expected;
+  if (c.variant == Variant::AllreduceRecursiveDoubling) {
+    for (std::uint64_t off = 0; off < c.nbytes; off += es) {
+      coll::rd_reduced_value(c.red_op, c.red_dtype, ps, c.nranks, off / es,
+                             std::span<std::byte>(expected).subspan(off, es));
+    }
+    return expected;
+  }
+  const ChunkLayout layout(c.nbytes, c.nranks);
+  for (int chunk = 0; chunk < c.nranks; ++chunk) {
+    const std::uint64_t lo = layout.disp(chunk);
+    const std::uint64_t hi = lo + layout.count(chunk);
+    for (std::uint64_t off = lo; off < hi; off += es) {
+      coll::ring_reduced_value(c.red_op, c.red_dtype, ps, c.nranks, c.root,
+                               chunk, off / es,
+                               std::span<std::byte>(expected).subspan(off, es));
+    }
+  }
+  return expected;
+}
+
+/// Byte range of `rank`'s buffer that must equal the reduction oracle.
+std::pair<std::uint64_t, std::uint64_t> reduce_checked_range(const FuzzCase& c,
+                                                             int rank) {
+  const int rel = rel_rank(rank, c.root, c.nranks);
+  const ChunkLayout layout(c.nbytes, c.nranks);
+  switch (c.variant) {
+    case Variant::ReduceScatterRing:
+      return {layout.disp(rel), layout.count(rel)};
+    case Variant::ReduceScatterBlocks:
+      return {layout.disp(rel),
+              layout.range_count(rel, coll::scatter_subtree_span(rel, c.nranks))};
+    default:
+      return {0, c.nbytes};  // the allreduce variants: the whole buffer
+  }
+}
+
+std::string check_counts(const std::string& what, std::uint64_t got,
                          std::uint64_t want) {
   if (got == want) return {};
-  return std::string(what) + ": got " + std::to_string(got) + ", closed form " +
+  return what + ": got " + std::to_string(got) + ", closed form " +
          std::to_string(want) + "; ";
 }
 
@@ -268,6 +388,81 @@ std::string symbolic_check(const FuzzCase& c, const RankBody& body,
       }
       break;
     }
+    case Variant::ReduceScatterRing:
+    case Variant::AllgathervRingNative:
+      err += check_counts(to_string(c.variant) + std::string(" total msgs"),
+                          sched.total_sends(), core::native_ring_transfers(P));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        err += check_counts("ring per-rank sends", per_rank[r].sends,
+                            static_cast<std::uint64_t>(P - 1));
+        err += check_counts("ring per-rank recvs", per_rank[r].recvs,
+                            static_cast<std::uint64_t>(P - 1));
+      }
+      break;
+    case Variant::ReduceScatterBlocks:
+      err += check_counts("blocked-rs total msgs", sched.total_sends(),
+                          core::blocked_reduce_scatter_transfers(P));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        const int rel = rel_rank(r, c.root, P);
+        err += check_counts(
+            "blocked-rs per-rank sends", per_rank[r].sends,
+            static_cast<std::uint64_t>(P - 1 + core::block_ancestors(rel)));
+        err += check_counts(
+            "blocked-rs per-rank recvs", per_rank[r].recvs,
+            static_cast<std::uint64_t>(P - 1 +
+                                       coll::scatter_subtree_span(rel, P) - 1));
+      }
+      break;
+    case Variant::AllreduceRsAgNative:
+      err += check_counts("allreduce-native total msgs", sched.total_sends(),
+                          core::allreduce_rsag_native_transfers(P));
+      break;
+    case Variant::AllreduceRsAgTuned:
+      err += check_counts("allreduce-tuned total msgs", sched.total_sends(),
+                          core::allreduce_rsag_tuned_transfers(P));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        const int rel = rel_rank(r, c.root, P);
+        const core::RingPlan plan = core::compute_ring_plan(rel, P);
+        err += check_counts(
+            "allreduce-tuned per-rank sends", per_rank[r].sends,
+            static_cast<std::uint64_t>(P - 1 + core::block_ancestors(rel) +
+                                       core::tuned_sends(plan, P)));
+        err += check_counts(
+            "allreduce-tuned per-rank recvs", per_rank[r].recvs,
+            static_cast<std::uint64_t>(P - 1 + coll::scatter_subtree_span(rel, P) -
+                                       1 + core::tuned_recvs(plan, P)));
+      }
+      break;
+    case Variant::AllreduceRecursiveDoubling: {
+      const std::uint64_t rounds = static_cast<std::uint64_t>(floor_log2(
+          static_cast<std::uint64_t>(P)));
+      err += check_counts("allreduce-rd total msgs", sched.total_sends(),
+                          static_cast<std::uint64_t>(P) * rounds);
+      for (int r = 0; err.empty() && r < P; ++r) {
+        err += check_counts("allreduce-rd per-rank sends", per_rank[r].sends, rounds);
+        err += check_counts("allreduce-rd per-rank recvs", per_rank[r].recvs, rounds);
+      }
+      break;
+    }
+    case Variant::AllgathervRingTuned:
+      err += check_counts("allgatherv-tuned total msgs", sched.total_sends(),
+                          core::tuned_ring_transfers(P));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        const core::RingPlan plan =
+            core::compute_ring_plan(rel_rank(r, c.root, P), P);
+        err += check_counts(
+            "allgatherv-tuned per-rank sends", per_rank[r].sends,
+            static_cast<std::uint64_t>(core::tuned_sends(plan, P)));
+        err += check_counts(
+            "allgatherv-tuned per-rank recvs", per_rank[r].recvs,
+            static_cast<std::uint64_t>(core::tuned_recvs(plan, P)));
+      }
+      break;
+    case Variant::AllgatherBruckHier:
+      err += check_counts(
+          "bruck-hier total msgs", sched.total_sends(),
+          core::bruck_hier_transfers(P, c.smp_cores_per_node));
+      break;
     default:
       break;  // no closed form for this variant; matching was the check
   }
@@ -278,9 +473,18 @@ std::string symbolic_check(const FuzzCase& c, const RankBody& body,
 }  // namespace
 
 bool sabotage_applies(const FuzzCase& c, Sabotage sabotage) noexcept {
-  return sabotage != Sabotage::None &&
-         (c.variant == Variant::BcastScatterRingTuned ||
-          c.variant == Variant::AllgatherRingTuned);
+  switch (sabotage) {
+    case Sabotage::None:
+      return false;
+    case Sabotage::RingPlanStepOffByOne:
+      return c.variant == Variant::BcastScatterRingTuned ||
+             c.variant == Variant::AllgatherRingTuned ||
+             c.variant == Variant::AllgathervRingTuned ||
+             c.variant == Variant::AllreduceRsAgTuned;
+    case Sabotage::ReduceScatterDoubleFinal:
+      return c.variant == Variant::ReduceScatterBlocks;
+  }
+  return false;
 }
 
 RunOutcome run_case(const FuzzCase& c, Sabotage sabotage) {
@@ -310,22 +514,36 @@ RunOutcome run_case(const FuzzCase& c, Sabotage sabotage) {
   mpisim::World world(c.nranks, wc);
 
   const std::uint64_t ps = oracle_seed(c);
+  // Reduction variants compare against the byte-exact fold oracle instead
+  // of the pattern; the expected buffer is shared read-only by all ranks.
+  std::vector<std::byte> expected;
+  if (is_reduce_family(c.variant)) expected = reduce_expected_buffer(c);
   std::mutex fail_mu;
   std::string first_fail;
+  auto report_fail = [&](int rank, std::uint64_t bad, std::uint64_t total) {
+    const std::lock_guard<std::mutex> lk(fail_mu);
+    if (first_fail.empty()) {
+      first_fail = "oracle mismatch at rank " + std::to_string(rank) +
+                   " byte " + std::to_string(bad) + " of " +
+                   std::to_string(total);
+    }
+  };
   try {
     world.run([&](mpisim::ThreadComm& comm) {
       std::vector<std::byte> buf(c.nbytes);
       fill_initial(c, comm.rank(), buf);
       body(comm, buf);
-      const std::size_t bad = first_pattern_mismatch(buf, ps);
-      if (bad != buf.size()) {
-        const std::lock_guard<std::mutex> lk(fail_mu);
-        if (first_fail.empty()) {
-          first_fail = "oracle mismatch at rank " +
-                       std::to_string(comm.rank()) + " byte " +
-                       std::to_string(bad) + " of " +
-                       std::to_string(buf.size());
+      if (is_reduce_family(c.variant)) {
+        const auto [off, len] = reduce_checked_range(c, comm.rank());
+        for (std::uint64_t i = off; i < off + len; ++i) {
+          if (buf[i] != expected[i]) {
+            report_fail(comm.rank(), i, buf.size());
+            break;
+          }
         }
+      } else {
+        const std::size_t bad = first_pattern_mismatch(buf, ps);
+        if (bad != buf.size()) report_fail(comm.rank(), bad, buf.size());
       }
     });
   } catch (const Error& e) {

@@ -29,6 +29,11 @@ enum class Sabotage : std::uint8_t {
   /// plan.step += 1 inside the tuned ring (off-by-one in the special
   /// phase). Only perturbs the tuned-ring variants.
   RingPlanStepOffByOne,
+  /// reduce_scatter_blocks_ring ships every finished chunk TWICE to the
+  /// nearest ancestor: values stay correct, but the transfer counts break
+  /// and bsb-verify's reduce-flow pass must produce a redundancy witness.
+  /// Only perturbs Variant::ReduceScatterBlocks.
+  ReduceScatterDoubleFinal,
 };
 
 struct RunOutcome {

@@ -6,30 +6,6 @@ namespace bsb::fuzz {
 
 namespace {
 
-bool is_block_allgather(Variant v) noexcept {
-  return v == Variant::AllgatherRingNative || v == Variant::AllgatherRingTuned ||
-         v == Variant::AllgatherRecursiveDoubling ||
-         v == Variant::AllgatherBruck ||
-         v == Variant::AllgatherNeighborExchange;
-}
-
-/// Re-establish the case's structural invariants after a field change.
-FuzzCase normalized(FuzzCase c) {
-  c.nranks = fit_ranks(c.variant, c.nranks);
-  if (c.variant == Variant::AllgatherBruck ||
-      c.variant == Variant::AllgatherNeighborExchange) {
-    c.root = 0;
-  } else {
-    c.root = c.root % c.nranks;
-  }
-  if (is_block_allgather(c.variant)) {
-    std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(c.nranks);
-    if (block == 0) block = 1;
-    c.nbytes = block * static_cast<std::uint64_t>(c.nranks);
-  }
-  return c;
-}
-
 bool same_config(const FuzzCase& a, const FuzzCase& b) noexcept {
   return a.variant == b.variant && a.nranks == b.nranks && a.root == b.root &&
          a.nbytes == b.nbytes && a.segment_bytes == b.segment_bytes &&
@@ -41,7 +17,7 @@ bool same_config(const FuzzCase& a, const FuzzCase& b) noexcept {
 std::vector<FuzzCase> candidates(const FuzzCase& c) {
   std::vector<FuzzCase> out;
   const auto push = [&](FuzzCase cand) {
-    cand = normalized(std::move(cand));
+    cand = normalize_case(std::move(cand));
     if (!same_config(cand, c)) out.push_back(std::move(cand));
   };
   if (c.faults.enabled) {
@@ -62,8 +38,7 @@ std::vector<FuzzCase> candidates(const FuzzCase& c) {
     cand.nbytes = c.nbytes / 2;
     push(cand);
   }
-  if (c.root != 0 && c.variant != Variant::AllgatherBruck &&
-      c.variant != Variant::AllgatherNeighborExchange) {
+  if (c.root != 0 && !is_rootless(c.variant)) {
     FuzzCase cand = c;
     cand.root = 0;
     push(cand);

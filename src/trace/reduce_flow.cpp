@@ -1,0 +1,233 @@
+#include "trace/reduce_flow.hpp"
+
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "comm/chunks.hpp"
+
+namespace bsb::trace {
+
+namespace {
+
+/// Contiguous circular interval of relative contributor ranks: the set
+/// {(begin + i) mod P : i in [0, len)}. Every partial any ring or
+/// recursive-doubling reduction schedule carries has this shape.
+struct CircSpan {
+  int begin = 0;
+  int len = 0;
+
+  std::string to_string() const {
+    return "[" + std::to_string(begin) + " +" + std::to_string(len) + ")";
+  }
+};
+
+struct RankState {
+  int pc = 0;
+  bool sendrecv_send_done = false;
+  int barriers_passed = 0;
+  /// Contributor set per relative chunk id.
+  std::vector<CircSpan> sets;
+};
+
+}  // namespace
+
+ReduceFlowReport validate_reduce_flow(const Schedule& sched,
+                                      const MatchResult& m,
+                                      const ReduceFlowOptions& opt) {
+  ReduceFlowReport report;
+  const int P = sched.nranks;
+  BSB_REQUIRE(opt.root >= 0 && opt.root < P, "reduce_flow: root out of range");
+  BSB_REQUIRE(opt.nchunks >= 1, "reduce_flow: need at least one chunk");
+  BSB_REQUIRE(opt.chunk_bytes > 0, "reduce_flow: chunk_bytes must be > 0");
+  BSB_REQUIRE(static_cast<int>(opt.required.size()) == P,
+              "reduce_flow: required ranges size != nranks");
+
+  // Every rank starts holding, for EVERY chunk, the singleton partial
+  // containing only its own contribution.
+  std::vector<RankState> st(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    st[r].sets.assign(static_cast<std::size_t>(opt.nchunks),
+                      CircSpan{rel_rank(r, opt.root, P), 1});
+  }
+  std::vector<bool> msg_sent(m.msgs.size(), false);
+  /// Sender's contributor set snapshotted when the send is emitted — what
+  /// the message's payload actually combines at that moment, regardless of
+  /// how the sender's own set evolves afterwards.
+  std::vector<CircSpan> carried(m.msgs.size());
+
+  auto fail = [&](const std::string& why) {
+    report.ok = false;
+    if (!report.diagnostics.empty()) report.diagnostics += "\n";
+    report.diagnostics += why;
+  };
+
+  auto chunk_of = [&](int r, int op_idx, std::uint64_t off, std::uint64_t bytes,
+                      int* out) -> bool {
+    const std::string where =
+        "rank " + std::to_string(r) + " op " + std::to_string(op_idx);
+    if (off == kForeignOffset) {
+      fail(where + " sends a partial from scratch memory; reduction dataflow "
+                   "cannot be validated");
+      return false;
+    }
+    if (bytes != opt.chunk_bytes || off % opt.chunk_bytes != 0) {
+      fail(where + " payload [" + std::to_string(off) + "," +
+           std::to_string(off + bytes) + ") is not exactly one chunk of the " +
+           std::to_string(opt.chunk_bytes) + "-byte reduction grid");
+      return false;
+    }
+    const std::uint64_t c = off / opt.chunk_bytes;
+    if (c >= static_cast<std::uint64_t>(opt.nchunks)) {
+      fail(where + " payload offset " + std::to_string(off) +
+           " is beyond the chunk grid");
+      return false;
+    }
+    *out = static_cast<int>(c);
+    return true;
+  };
+
+  auto emit_send = [&](int r, int op_idx) -> bool {
+    const Op& op = sched.ops[r][op_idx];
+    int c = 0;
+    if (!chunk_of(r, op_idx, op.send_off, op.send_bytes, &c)) return false;
+    const int id = m.send_msg_of[r][op_idx];
+    BSB_ASSERT(id >= 0, "reduce_flow: send half without matched message");
+    carried[static_cast<std::size_t>(id)] = st[r].sets[static_cast<std::size_t>(c)];
+    msg_sent[id] = true;
+    return true;
+  };
+
+  auto try_recv = [&](int r, int op_idx) -> bool {
+    const int id = m.recv_msg_of[r][op_idx];
+    BSB_ASSERT(id >= 0, "reduce_flow: recv half without matched message");
+    if (!msg_sent[id]) return false;  // still blocked
+    const MatchedMsg& msg = m.msgs[id];
+    // The chunk is identified by the SOURCE offset: ring partials land in
+    // scratch on the receiver (the home offset still holds the receiver's
+    // unfolded contribution), so dst_off may legitimately be foreign.
+    int c = 0;
+    if (!chunk_of(msg.src, msg.src_op, msg.src_off, msg.bytes, &c)) return true;
+    const CircSpan in = carried[static_cast<std::size_t>(id)];
+    CircSpan& have = st[r].sets[static_cast<std::size_t>(c)];
+    const std::string where = "rank " + std::to_string(r) + " op " +
+                              std::to_string(op_idx) + " chunk " +
+                              std::to_string(c);
+    report.delivered_bytes += msg.bytes;
+
+    if (in.len == P) {
+      // Complete value: replaces whatever partial the receiver held; a
+      // second complete delivery teaches the receiver nothing.
+      if (have.len == P) {
+        report.redundant_bytes += msg.bytes;
+        ++report.redundant_msgs;
+      }
+      have = in;
+      return true;
+    }
+    if (have.len == P) {
+      fail(where + ": partial " + in.to_string() +
+           " delivered over an already complete value");
+      return true;
+    }
+    // Partial over partial: must be disjoint and adjacent so the union is
+    // again a circular interval — anything else double-counts a
+    // contribution or tears the set.
+    if (in.begin == (have.begin + have.len) % P && have.len + in.len <= P) {
+      have.len += in.len;
+    } else if (have.begin == (in.begin + in.len) % P && have.len + in.len <= P) {
+      have = CircSpan{in.begin, have.len + in.len};
+    } else {
+      fail(where + ": partial " + in.to_string() +
+           " cannot combine with held " + have.to_string() +
+           " (overlapping or non-adjacent contributor sets — a contribution "
+           "would be double-counted or lost)");
+    }
+    return true;
+  };
+
+  auto barrier_ready = [&](int generation) {
+    for (int q = 0; q < P; ++q) {
+      if (st[q].barriers_passed > generation) continue;
+      const auto& list = sched.ops[q];
+      if (st[q].pc < static_cast<int>(list.size()) &&
+          list[st[q].pc].kind == OpKind::Barrier &&
+          st[q].barriers_passed == generation) {
+        continue;
+      }
+      return false;
+    }
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && report.ok) {
+    progress = false;
+    for (int r = 0; r < P; ++r) {
+      while (report.ok && st[r].pc < static_cast<int>(sched.ops[r].size())) {
+        const int i = st[r].pc;
+        const Op& op = sched.ops[r][i];
+        bool advanced = false;
+        switch (op.kind) {
+          case OpKind::Send:
+            if (!emit_send(r, i)) break;
+            advanced = true;
+            break;
+          case OpKind::Recv:
+            advanced = try_recv(r, i);
+            break;
+          case OpKind::SendRecv:
+            if (!st[r].sendrecv_send_done) {
+              if (!emit_send(r, i)) break;
+              st[r].sendrecv_send_done = true;
+              progress = true;
+            }
+            if (try_recv(r, i)) {
+              st[r].sendrecv_send_done = false;
+              advanced = true;
+            }
+            break;
+          case OpKind::Barrier:
+            if (barrier_ready(st[r].barriers_passed)) {
+              ++st[r].barriers_passed;
+              advanced = true;
+            }
+            break;
+        }
+        if (!advanced) break;
+        ++st[r].pc;
+        progress = true;
+      }
+    }
+  }
+
+  if (report.ok) {
+    for (int r = 0; r < P; ++r) {
+      if (st[r].pc < static_cast<int>(sched.ops[r].size())) {
+        const Op& op = sched.ops[r][st[r].pc];
+        fail("deadlock: rank " + std::to_string(r) + " blocked at op " +
+             std::to_string(st[r].pc) + " (" + to_string(op.kind) +
+             (op.has_recv() ? " from " + std::to_string(op.src) : "") + ")");
+      }
+    }
+  }
+
+  if (report.ok) {
+    for (int r = 0; r < P; ++r) {
+      const auto [first, count] = opt.required[static_cast<std::size_t>(r)];
+      BSB_REQUIRE(first >= 0 && count >= 0 && first + count <= opt.nchunks,
+                  "reduce_flow: required chunk range out of bounds");
+      for (int c = first; c < first + count; ++c) {
+        const CircSpan& s = st[r].sets[static_cast<std::size_t>(c)];
+        if (s.len != P) {
+          fail("rank " + std::to_string(r) + " ends with chunk " +
+               std::to_string(c) + " holding only contributors " +
+               s.to_string() + " of " + std::to_string(P));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bsb::trace

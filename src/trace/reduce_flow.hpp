@@ -1,0 +1,67 @@
+// Symbolic reduction-dataflow validation: the reduce-direction counterpart
+// of coverage.hpp. Coverage tracks WHICH BYTES a rank holds; for a
+// reduction that is not enough — correctness means every rank's
+// contribution to a chunk is folded in EXACTLY once. This engine therefore
+// tracks, per (rank, chunk), the SET OF CONTRIBUTORS the rank's current
+// partial combines, and checks every message against three rules:
+//
+//   * a message snapshots the sender's contributor set at emit time;
+//   * an incomplete (partial) payload may only be combined into a
+//     DISJOINT local set whose union is again a contiguous circular
+//     interval of relative ranks — overlap would double-count a
+//     contribution (numerically wrong for sum), a gap would leave a
+//     non-interval set no ring schedule can produce (schedule bug);
+//   * a complete payload (all P contributors — a finished value) REPLACES
+//     an incomplete local set, and landing on an already complete set is
+//     REDUNDANT: the receiver learns nothing, which is exactly the
+//     ownership-agnostic waste the tuned variants eliminate. The verifier
+//     requires redundant == 0 for every ownership-aware schedule.
+//
+// Every contributor set any ring/recursive-doubling schedule produces is a
+// circular interval over relative ranks, so sets are a {begin, length}
+// pair, O(1) per message, and sweeps to P = 4096 stay cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/match.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb::trace {
+
+struct ReduceFlowOptions {
+  /// Root of the relative-rank numbering (chunk i belongs to relative rank
+  /// i). Rootless variants pass 0.
+  int root = 0;
+  /// Chunk grid: nchunks uniform chunks of chunk_bytes each, chunk i at
+  /// byte offset i * chunk_bytes. Recursive doubling, which exchanges
+  /// whole buffers, passes nchunks = 1.
+  int nchunks = 1;
+  std::uint64_t chunk_bytes = 0;
+  /// Postcondition, per ABSOLUTE rank: the (first, count) range of
+  /// RELATIVE chunk ids that must hold the complete reduction at the end.
+  std::vector<std::pair<int, int>> required;
+};
+
+struct ReduceFlowReport {
+  bool ok = true;
+  std::string diagnostics;  // empty when ok
+
+  /// Payload bytes delivering a complete value to a rank whose set for the
+  /// chunk was ALREADY complete, and the count of such messages.
+  std::uint64_t redundant_bytes = 0;
+  std::uint64_t redundant_msgs = 0;
+  /// Total payload bytes of all validated messages.
+  std::uint64_t delivered_bytes = 0;
+};
+
+/// Validate `sched` (already matched as `m`) as a reduction dataflow.
+/// Never throws on validation failure; inspect the report.
+ReduceFlowReport validate_reduce_flow(const Schedule& sched,
+                                      const MatchResult& m,
+                                      const ReduceFlowOptions& opt);
+
+}  // namespace bsb::trace

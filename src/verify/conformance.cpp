@@ -5,7 +5,9 @@
 #include "coll/scatter_binomial.hpp"
 #include "comm/chunks.hpp"
 #include "comm/topology.hpp"
+#include "comm/vchunks.hpp"
 #include "core/bcast.hpp"
+#include "core/ring_plan.hpp"
 #include "core/transfer_analysis.hpp"
 
 namespace bsb::verify {
@@ -60,6 +62,78 @@ Redundancy rd_redundancy(int P, std::uint64_t nbytes) {
     }
   }
   return red;
+}
+
+/// Redundant traffic of the ENCLOSED ring allgatherv running over skewed
+/// post-scatter block ownership: same shape as native_ring_redundancy but
+/// weighted by the case's VarLayout, so zero-sized chunks contribute no
+/// redundant message.
+Redundancy allgatherv_native_redundancy(const FuzzCase& c) {
+  const int P = c.nranks;
+  const VarLayout layout(skewed_counts(P, c.nbytes, c.skew_seed));
+  Redundancy red;
+  for (int rel = 0; rel < P; ++rel) {
+    const int span = coll::scatter_subtree_span(rel, P);
+    red.bytes += layout.range_count(rel, span) - layout.count(rel);
+    for (int ch = rel + 1; ch < rel + span; ++ch) {
+      if (layout.count(ch) > 0) ++red.msgs;
+    }
+  }
+  return red;
+}
+
+using RankCounts = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+/// Exact per-rank (sends, recvs) for the reduction family and allgatherv:
+/// ring steps plus — for the blocked variants — the phase-B ancestor
+/// delivery, plus the allgather phase for the rsag allreduces.
+RankCounts per_rank_expectation(const FuzzCase& c) {
+  const int P = c.nranks;
+  RankCounts out(static_cast<std::size_t>(P));
+  const auto ring = static_cast<std::uint64_t>(P - 1);
+  for (int r = 0; r < P; ++r) {
+    const int rel = rel_rank(r, c.root, P);
+    const auto span =
+        static_cast<std::uint64_t>(coll::scatter_subtree_span(rel, P));
+    const auto anc = static_cast<std::uint64_t>(core::block_ancestors(rel));
+    const core::RingPlan plan = core::compute_ring_plan(rel, P);
+    const auto tuned_s = static_cast<std::uint64_t>(core::tuned_sends(plan, P));
+    const auto tuned_r = static_cast<std::uint64_t>(core::tuned_recvs(plan, P));
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    switch (c.variant) {
+      case Variant::ReduceScatterRing:
+      case Variant::AllgathervRingNative:
+        sends = ring;
+        recvs = ring;
+        break;
+      case Variant::ReduceScatterBlocks:
+        sends = ring + anc;
+        recvs = ring + span - 1;
+        break;
+      case Variant::AllreduceRsAgNative:
+        sends = ring + anc + ring;
+        recvs = ring + span - 1 + ring;
+        break;
+      case Variant::AllreduceRsAgTuned:
+        sends = ring + anc + tuned_s;
+        recvs = ring + span - 1 + tuned_r;
+        break;
+      case Variant::AllreduceRecursiveDoubling:
+        sends = static_cast<std::uint64_t>(
+            floor_log2(static_cast<std::uint64_t>(P)));
+        recvs = sends;
+        break;
+      case Variant::AllgathervRingTuned:
+        sends = tuned_s;
+        recvs = tuned_r;
+        break;
+      default:
+        BSB_ASSERT(false, "per_rank_expectation: variant has no per-rank form");
+    }
+    out[static_cast<std::size_t>(r)] = {sends, recvs};
+  }
+  return out;
 }
 
 std::uint64_t pipelined_sends(int P, std::uint64_t nbytes,
@@ -140,9 +214,52 @@ int ceil_log2(std::uint64_t n) noexcept {
 }
 
 bool dataflow_checkable(Variant v) noexcept {
-  // Bruck gathers into a rotated scratch buffer; its offsets are foreign to
-  // the collective's buffer and cannot be dataflow-validated symbolically.
-  return v != Variant::AllgatherBruck;
+  // Bruck (flat and hierarchical) gathers into a rotated scratch buffer;
+  // its offsets are foreign to the collective's buffer and cannot be
+  // dataflow-validated symbolically. The reduction family moves partial
+  // sums, not byte copies — validate_reduce_flow covers those instead.
+  return v != Variant::AllgatherBruck && v != Variant::AllgatherBruckHier &&
+         !fuzz::is_reduce_family(v);
+}
+
+bool reduction_checkable(Variant v) noexcept {
+  return fuzz::is_reduce_family(v);
+}
+
+trace::ReduceFlowOptions reduce_flow_options(const FuzzCase& c) {
+  BSB_REQUIRE(fuzz::is_reduce_family(c.variant),
+              "reduce_flow_options: not a reduction-family case");
+  BSB_REQUIRE(c.nbytes > 0, "reduce_flow_options: nbytes must be positive");
+  const int P = c.nranks;
+  trace::ReduceFlowOptions opt;
+  opt.root = c.root;
+  if (c.variant == Variant::AllreduceRecursiveDoubling) {
+    // Whole-buffer partials halve the contributor gap each round; a single
+    // chunk models that exactly.
+    opt.nchunks = 1;
+    opt.chunk_bytes = c.nbytes;
+    opt.required.assign(static_cast<std::size_t>(P), {0, 1});
+    return opt;
+  }
+  opt.nchunks = P;
+  opt.chunk_bytes = c.nbytes / static_cast<std::uint64_t>(P);
+  opt.required.resize(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    const int rel = rel_rank(r, c.root, P);
+    switch (c.variant) {
+      case Variant::ReduceScatterRing:
+        opt.required[static_cast<std::size_t>(r)] = {rel, 1};
+        break;
+      case Variant::ReduceScatterBlocks:
+        opt.required[static_cast<std::size_t>(r)] = {
+            rel, coll::scatter_subtree_span(rel, P)};
+        break;
+      default:  // the rsag allreduces: everyone ends with everything
+        opt.required[static_cast<std::size_t>(r)] = {0, P};
+        break;
+    }
+  }
+  return opt;
 }
 
 TransferExpectation expected_transfers(const FuzzCase& c) {
@@ -209,6 +326,60 @@ TransferExpectation expected_transfers(const FuzzCase& c) {
       e.redundant_bytes = 0;
       e.redundant_msgs = 0;
       return e;
+    case Variant::ReduceScatterRing:
+      e.total_sends = core::native_ring_transfers(P);
+      e.redundant_bytes = 0;  // ownership-aware: nothing complete re-shipped
+      e.redundant_msgs = 0;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    case Variant::ReduceScatterBlocks:
+      e.total_sends = core::blocked_reduce_scatter_transfers(P);
+      e.redundant_bytes = 0;  // phase B replaces partials, never completes
+      e.redundant_msgs = 0;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    case Variant::AllreduceRsAgNative: {
+      e.total_sends = core::allreduce_rsag_native_transfers(P);
+      // The enclosed allgather re-ships the reduced chunks the blocked
+      // reduce_scatter already left on each rank — the same excess the
+      // paper prices for bcast, generalized to allreduce.
+      const Redundancy red = native_ring_redundancy(P, c.nbytes);
+      e.redundant_bytes = red.bytes;
+      e.redundant_msgs = red.msgs;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    }
+    case Variant::AllreduceRsAgTuned:
+      e.total_sends = core::allreduce_rsag_tuned_transfers(P);
+      e.redundant_bytes = 0;  // the generalized zero-waste claim
+      e.redundant_msgs = 0;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    case Variant::AllreduceRecursiveDoubling:
+      e.total_sends = static_cast<std::uint64_t>(P) *
+                      static_cast<std::uint64_t>(
+                          floor_log2(static_cast<std::uint64_t>(P)));
+      e.redundant_bytes = 0;  // partial merges only, never a re-delivery
+      e.redundant_msgs = 0;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    case Variant::AllgathervRingNative: {
+      e.total_sends = core::native_ring_transfers(P);
+      const Redundancy red = allgatherv_native_redundancy(c);
+      e.redundant_bytes = red.bytes;
+      e.redundant_msgs = red.msgs;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    }
+    case Variant::AllgathervRingTuned:
+      e.total_sends = core::tuned_ring_transfers(P);
+      e.redundant_bytes = 0;  // skew-oblivious plan, still zero waste
+      e.redundant_msgs = 0;
+      e.per_rank_counts = per_rank_expectation(c);
+      return e;
+    case Variant::AllgatherBruckHier:
+      e.total_sends = core::bruck_hier_transfers(P, c.smp_cores_per_node);
+      return e;  // scratch rotation: redundancy not statically checkable
   }
   BSB_ASSERT(false, "expected_transfers: unknown variant");
 }
@@ -250,13 +421,39 @@ std::vector<IntervalSet> initial_coverage(const FuzzCase& c) {
       return init;
     }
     case Variant::AllgatherBruck:
-    case Variant::AllgatherNeighborExchange: {
+    case Variant::AllgatherNeighborExchange:
+    case Variant::AllgatherBruckHier: {
       BSB_REQUIRE(c.nbytes % static_cast<std::uint64_t>(P) == 0,
                   "initial_coverage: block allgather needs P | nbytes");
       const std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(P);
       for (int r = 0; r < P; ++r) {
         const std::uint64_t off = static_cast<std::uint64_t>(r) * block;
         init[static_cast<std::size_t>(r)].insert({off, off + block});
+      }
+      return init;
+    }
+    case Variant::ReduceScatterRing:
+    case Variant::ReduceScatterBlocks:
+    case Variant::AllreduceRsAgNative:
+    case Variant::AllreduceRsAgTuned:
+    case Variant::AllreduceRecursiveDoubling:
+      // Every rank starts with its full contribution vector; coverage in
+      // the byte-copy sense does not apply (see reduction_checkable).
+      for (int r = 0; r < P; ++r) {
+        init[static_cast<std::size_t>(r)].insert({0, c.nbytes});
+      }
+      return init;
+    case Variant::AllgathervRingNative:
+    case Variant::AllgathervRingTuned: {
+      // Post-scatter block ownership, weighted by the skewed layout: rank
+      // rel holds chunks [rel, rel + span) of the VarLayout.
+      const VarLayout layout(skewed_counts(P, c.nbytes, c.skew_seed));
+      for (int r = 0; r < P; ++r) {
+        const int rel = rel_rank(r, c.root, P);
+        const int span = coll::scatter_subtree_span(rel, P);
+        const std::uint64_t off = layout.disp(rel);
+        init[static_cast<std::size_t>(r)].insert(
+            {off, off + layout.range_count(rel, span)});
       }
       return init;
     }

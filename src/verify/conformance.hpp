@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "bsbutil/intervals.hpp"
 #include "fuzz/case.hpp"
+#include "trace/reduce_flow.hpp"
 
 namespace bsb::verify {
 
@@ -33,6 +35,11 @@ struct TransferExpectation {
   /// When true, every rank must send and receive exactly P-1 messages
   /// (the enclosed ring's shape).
   bool native_ring_per_rank = false;
+  /// Exact (sends, recvs) per absolute rank; empty means "not constrained
+  /// this way". Used by the reduction family and allgatherv, whose per-rank
+  /// shapes mix ring steps with ancestor deliveries and so fit neither of
+  /// the two boolean shapes above.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> per_rank_counts;
 };
 
 /// Closed-form expectation for the case's recorded schedule.
@@ -44,8 +51,20 @@ TransferExpectation expected_transfers(const fuzz::FuzzCase& c);
 std::vector<IntervalSet> initial_coverage(const fuzz::FuzzCase& c);
 
 /// False for variants whose spans live in scratch memory (Bruck rotation),
-/// where offsets cannot be dataflow-validated.
+/// where offsets cannot be dataflow-validated, and for the reduction
+/// family, whose payloads are partial sums rather than copies of source
+/// bytes (those are validated by the reduce-flow engine instead).
 bool dataflow_checkable(fuzz::Variant v) noexcept;
+
+/// True for the reduction family: the recorded schedule must satisfy the
+/// contributor-interval rules of trace::validate_reduce_flow.
+bool reduction_checkable(fuzz::Variant v) noexcept;
+
+/// Options driving the reduce-flow validation of this case's schedule:
+/// chunk grid, root, and the relative chunk range each absolute rank must
+/// hold fully reduced at the end. Requires a reduction-family case with
+/// nbytes > 0.
+trace::ReduceFlowOptions reduce_flow_options(const fuzz::FuzzCase& c);
 
 /// ceil(log2(n)) for n >= 1.
 int ceil_log2(std::uint64_t n) noexcept;

@@ -16,7 +16,7 @@ constexpr std::size_t kMaxFindings = 64;
 
 bool known_base_tag(int base) {
   return base >= coll::tags::kBcastBinomial &&
-         base <= coll::tags::kStandaloneScatter;
+         base <= coll::tags::kBruckHierBcast;
 }
 
 }  // namespace

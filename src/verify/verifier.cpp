@@ -8,6 +8,7 @@
 #include <set>
 
 #include "bsbutil/error.hpp"
+#include "coll/scatter_binomial.hpp"
 #include "comm/chunks.hpp"
 #include "core/ring_plan.hpp"
 #include "core/transfer_analysis.hpp"
@@ -119,11 +120,58 @@ void verify_impl(const trace::Schedule& sched, int root,
     }
   }
 
+  // 4b. Reduce-flow: contributor-interval validation for the reduction
+  // family (partial sums instead of byte copies; the coverage engine does
+  // not apply). Redundancy here means a fully reduced chunk delivered to a
+  // rank that already held it fully reduced.
+  if (cfg != nullptr && reduction_checkable(cfg->variant) &&
+      sched.nbytes > 0) {
+    const trace::ReduceFlowReport rf =
+        trace::validate_reduce_flow(sched, m, reduce_flow_options(*cfg));
+    res->reduce_flow_checked = true;
+    res->redundant_bytes = rf.redundant_bytes;
+    res->redundant_msgs = rf.redundant_msgs;
+    if (!rf.ok) {
+      add_failure(res, "reduce-flow:\n" + rf.diagnostics);
+    }
+    if (expect != nullptr && rf.ok) {
+      if (expect->redundant_bytes &&
+          rf.redundant_bytes != *expect->redundant_bytes) {
+        add_failure(res, mismatch("redundancy: redundant reduced bytes",
+                                  rf.redundant_bytes, *expect->redundant_bytes));
+      }
+      if (expect->redundant_msgs &&
+          rf.redundant_msgs != *expect->redundant_msgs) {
+        add_failure(res,
+                    mismatch("redundancy: fully-redundant reduced messages",
+                             rf.redundant_msgs, *expect->redundant_msgs));
+      }
+    }
+  }
+
   // 5. Transfer-count conformance against the closed forms.
   if (expect != nullptr) {
     if (expect->total_sends && res->total_sends != *expect->total_sends) {
       add_failure(res, mismatch("transfers: total messages", res->total_sends,
                                 *expect->total_sends));
+    }
+    if (!expect->per_rank_counts.empty()) {
+      const auto per_rank = trace::per_rank_op_counts(sched);
+      for (int r = 0; r < sched.nranks && res->failures.size() < 8; ++r) {
+        const auto& want = expect->per_rank_counts[static_cast<std::size_t>(r)];
+        if (per_rank[r].sends != want.first) {
+          add_failure(res, mismatch(("transfers: rank " + std::to_string(r) +
+                                     " sends")
+                                        .c_str(),
+                                    per_rank[r].sends, want.first));
+        }
+        if (per_rank[r].recvs != want.second) {
+          add_failure(res, mismatch(("transfers: rank " + std::to_string(r) +
+                                     " recvs")
+                                        .c_str(),
+                                    per_rank[r].recvs, want.second));
+        }
+      }
     }
     if ((expect->tuned_ring_per_rank || expect->native_ring_per_rank) &&
         cfg != nullptr) {
@@ -246,7 +294,33 @@ void closed_form_density_check(int pmax, SweepReport* report) {
            std::to_string(plan_recvs) + " recvs, closed form says " +
            std::to_string(tuned));
     }
-    report->proofs += 4;
+    // Reduction-family identities. The popcount identity
+    // sum_rel popcount(rel) == sum_rel (span(rel) - 1) == savings prices
+    // the blocked reduce_scatter's phase-B delivery at exactly the tuned
+    // ring's savings, which is why the tuned allreduce collapses to
+    // 2P(P-1): the extra delivery and the allgather savings cancel.
+    std::uint64_t anc_sum = 0, span_sum = 0;
+    for (int rel = 0; rel < P; ++rel) {
+      anc_sum += static_cast<std::uint64_t>(core::block_ancestors(rel));
+      span_sum += static_cast<std::uint64_t>(
+          coll::scatter_subtree_span(rel, P) - 1);
+    }
+    if (anc_sum != savings || span_sum != savings) {
+      fail("P=" + std::to_string(P) + ": popcount identity broken (" +
+           std::to_string(anc_sum) + " ancestors / " + std::to_string(span_sum) +
+           " span excess vs savings " + std::to_string(savings) + ")");
+    }
+    if (core::blocked_reduce_scatter_transfers(P) != native + savings) {
+      fail("P=" + std::to_string(P) + ": blocked RS != native + savings");
+    }
+    if (core::allreduce_rsag_native_transfers(P) !=
+        core::blocked_reduce_scatter_transfers(P) + native) {
+      fail("P=" + std::to_string(P) + ": allreduce native != blocked RS + native");
+    }
+    if (core::allreduce_rsag_tuned_transfers(P) != 2 * native) {
+      fail("P=" + std::to_string(P) + ": allreduce tuned != 2P(P-1)");
+    }
+    report->proofs += 8;
   }
   // The paper's Section IV anchors.
   struct Anchor {
@@ -262,6 +336,27 @@ void closed_form_density_check(int pmax, SweepReport* report) {
            ", closed forms give " +
            std::to_string(core::native_ring_transfers(a.P)) + " -> " +
            std::to_string(core::tuned_ring_transfers(a.P)));
+    }
+    report->proofs += 1;
+  }
+  // The generalized family's anchors (analogue of 56->44 / 90->75): the
+  // blocked reduce_scatter and the two rsag allreduce flavours.
+  struct FamilyAnchor {
+    int P;
+    std::uint64_t blocked_rs, ar_native, ar_tuned;
+  };
+  for (const FamilyAnchor a :
+       {FamilyAnchor{8, 68, 124, 112}, FamilyAnchor{10, 105, 195, 180}}) {
+    if (a.P > pmax) continue;
+    if (core::blocked_reduce_scatter_transfers(a.P) != a.blocked_rs ||
+        core::allreduce_rsag_native_transfers(a.P) != a.ar_native ||
+        core::allreduce_rsag_tuned_transfers(a.P) != a.ar_tuned) {
+      fail("family anchor P=" + std::to_string(a.P) + ": expected " +
+           std::to_string(a.blocked_rs) + " / " + std::to_string(a.ar_native) +
+           " -> " + std::to_string(a.ar_tuned) + ", closed forms give " +
+           std::to_string(core::blocked_reduce_scatter_transfers(a.P)) + " / " +
+           std::to_string(core::allreduce_rsag_native_transfers(a.P)) + " -> " +
+           std::to_string(core::allreduce_rsag_tuned_transfers(a.P)));
     }
     report->proofs += 1;
   }
@@ -289,21 +384,17 @@ FuzzCase sweep_case(Variant v, int P, int root, std::uint64_t nbytes) {
   c.variant = v;
   c.nranks = P;
   c.nbytes = nbytes;
-  const bool allgather =
-      static_cast<int>(v) >= static_cast<int>(Variant::AllgatherRingNative);
-  if (allgather) {
-    // Equal-block allgathers need P | nbytes; snap down, keep >= 1 block.
-    std::uint64_t block = nbytes / static_cast<std::uint64_t>(P);
-    if (block == 0) block = 1;
-    c.nbytes = block * static_cast<std::uint64_t>(P);
-  }
-  const bool rootless = v == Variant::AllgatherBruck ||
-                        v == Variant::AllgatherNeighborExchange;
-  c.root = rootless ? 0 : root;
+  c.root = root;
   c.segment_bytes = 4096;
   c.smp_cores_per_node = 4;
-  // Selector thresholds stay at the MPICH defaults (FuzzCase defaults).
-  return c;
+  if (fuzz::is_allgatherv(v)) {
+    // Deterministic skew per (P, nbytes) so sweep runs are reproducible but
+    // still exercise distinct partitions (including zero-sized chunks).
+    c.skew_seed = 0x5eedu + static_cast<std::uint64_t>(P) * 1315423911u + nbytes;
+  }
+  // Selector thresholds stay at the MPICH defaults (FuzzCase defaults);
+  // normalize_case snaps nbytes to the variant's block / reduction grain.
+  return fuzz::normalize_case(c);
 }
 
 std::string json_escape(const std::string& s) {
@@ -351,8 +442,7 @@ SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
       if (opt.only && *opt.only != v) continue;
       if (fuzz::fit_ranks(v, P) != P) continue;  // structural requirement
       const std::vector<int> roots = roots_for(P, opt.all_roots_upto);
-      const bool rootless = v == Variant::AllgatherBruck ||
-                            v == Variant::AllgatherNeighborExchange;
+      const bool rootless = fuzz::is_rootless(v);
       for (const std::uint64_t nbytes : opt.sizes) {
         for (const int root : roots) {
           if (rootless && root != roots.front()) continue;
@@ -366,7 +456,8 @@ SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
           // Properties checked per case: lint, match, deadlock freedom per
           // threshold, buffer safety, coverage, redundancy, transfers.
           report.proofs += 4 + opt.eager_thresholds.size() +
-                           (res.dataflow_checked ? 1 : 0);
+                           (res.dataflow_checked ? 1 : 0) +
+                           (res.reduce_flow_checked ? 1 : 0);
           if (!res.ok) {
             ++report.failures;
             ++p_failures;
@@ -426,6 +517,15 @@ void write_verify_json(const std::string& path, const SweepOptions& opt,
     << ", \"p8_tuned\": " << core::tuned_ring_transfers(8)
     << ", \"p10_native\": " << core::native_ring_transfers(10)
     << ", \"p10_tuned\": " << core::tuned_ring_transfers(10) << "},\n";
+  f << "  \"family\": {\"p8_blocked_rs\": "
+    << core::blocked_reduce_scatter_transfers(8)
+    << ", \"p8_allreduce_native\": " << core::allreduce_rsag_native_transfers(8)
+    << ", \"p8_allreduce_tuned\": " << core::allreduce_rsag_tuned_transfers(8)
+    << ", \"p10_blocked_rs\": " << core::blocked_reduce_scatter_transfers(10)
+    << ", \"p10_allreduce_native\": "
+    << core::allreduce_rsag_native_transfers(10)
+    << ", \"p10_allreduce_tuned\": "
+    << core::allreduce_rsag_tuned_transfers(10) << "},\n";
   f << "  \"per_variant\": {";
   bool first = true;
   for (const Variant v : fuzz::all_variants()) {

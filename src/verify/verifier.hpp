@@ -40,7 +40,8 @@ struct CaseResult {
   std::string label;
   bool ok = true;
   /// One entry per failed property, prefixed "deadlock:", "race:",
-  /// "lint:", "match:", "coverage:", "redundancy:" or "transfers:".
+  /// "lint:", "match:", "coverage:", "reduce-flow:", "redundancy:" or
+  /// "transfers:".
   std::vector<std::string> failures;
 
   // Proven facts (for reporting).
@@ -52,6 +53,9 @@ struct CaseResult {
   std::uint64_t eager_high_water_bytes = 0;  // max over checked thresholds
   std::uint64_t lint_warnings = 0;
   bool dataflow_checked = false;
+  /// True when the contributor-interval (reduce-flow) proof ran; the
+  /// redundant_* fields then count re-deliveries of fully reduced chunks.
+  bool reduce_flow_checked = false;
 
   std::string summary() const;
 };
@@ -79,7 +83,7 @@ struct SweepOptions {
   std::vector<std::uint64_t> eager_thresholds = {0, 65536};
   /// All roots for P <= this; {0, 1, P/2, P-1} above.
   int all_roots_upto = 10;
-  /// Restrict to one variant (nullopt = all 13).
+  /// Restrict to one variant (nullopt = all of them).
   std::optional<fuzz::Variant> only;
   /// Verify closed-form consistency (per-rank ring plans vs totals, paper
   /// anchor values) densely for EVERY P in [2, pmax], independent of

@@ -68,9 +68,84 @@ TEST(FuzzCaseGenerator, SampledCasesSatisfyStructuralInvariants) {
       ASSERT_EQ(c.nbytes % static_cast<std::uint64_t>(c.nranks), 0u)
           << describe(c);
     }
+    if (c.variant == Variant::AllreduceRecursiveDoubling) {
+      ASSERT_TRUE(is_pow2(c.nranks)) << describe(c);
+    }
+    if (is_reduce_family(c.variant)) {
+      const std::uint64_t grain =
+          static_cast<std::uint64_t>(c.nranks) *
+          coll::elem_bytes(c.red_dtype);
+      ASSERT_EQ(c.nbytes % grain, 0u) << describe(c);
+      ASSERT_GT(c.nbytes, 0u) << describe(c);
+    }
+    if (is_rootless(c.variant)) {
+      ASSERT_EQ(c.root, 0) << describe(c);
+    }
   }
   // 2000 draws must exercise every variant.
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumVariants));
+}
+
+TEST(FuzzCaseGenerator, NormalizeCaseRestoresEveryStructuralInvariant) {
+  for (const Variant v : all_variants()) {
+    FuzzCase c;
+    c.variant = v;
+    c.nranks = 13;
+    c.root = 29;                 // deliberately out of range
+    c.nbytes = 997;              // deliberately off-grain
+    c.red_dtype = coll::RedDtype::F64;
+    const FuzzCase n = normalize_case(c);
+    EXPECT_GE(n.nranks, 2) << to_string(v);
+    EXPECT_LE(n.nranks, 13) << to_string(v);
+    EXPECT_EQ(n.nranks, fit_ranks(v, 13)) << to_string(v);
+    EXPECT_GE(n.root, 0) << to_string(v);
+    EXPECT_LT(n.root, n.nranks) << to_string(v);
+    if (is_rootless(v)) {
+      EXPECT_EQ(n.root, 0) << to_string(v);
+    }
+    if (is_reduce_family(v)) {
+      const std::uint64_t grain = static_cast<std::uint64_t>(n.nranks) *
+                                  coll::elem_bytes(n.red_dtype);
+      EXPECT_EQ(n.nbytes % grain, 0u) << to_string(v);
+      EXPECT_GT(n.nbytes, 0u) << to_string(v);
+    } else if (is_block_allgather(v)) {
+      EXPECT_EQ(n.nbytes % static_cast<std::uint64_t>(n.nranks), 0u)
+          << to_string(v);
+    } else if (is_allgatherv(v)) {
+      // Any byte count is legal for the skewed layouts.
+      EXPECT_EQ(n.nbytes, c.nbytes) << to_string(v);
+    }
+  }
+}
+
+TEST(FuzzCaseGenerator, ExplicitReproducerCarriesFamilyFlags) {
+  FuzzCase rs;
+  rs.variant = Variant::ReduceScatterBlocks;
+  rs.nranks = 8;
+  rs.nbytes = 8 * 8 * 4;
+  rs.red_op = coll::RedOp::Max;
+  rs.red_dtype = coll::RedDtype::I32;
+  const std::string rs_cmd = explicit_reproducer(rs);
+  EXPECT_NE(rs_cmd.find("--op=max"), std::string::npos) << rs_cmd;
+  EXPECT_NE(rs_cmd.find("--dtype=i32"), std::string::npos) << rs_cmd;
+  EXPECT_EQ(rs_cmd.find("--skew-seed"), std::string::npos) << rs_cmd;
+
+  FuzzCase agv;
+  agv.variant = Variant::AllgathervRingTuned;
+  agv.nranks = 10;
+  agv.nbytes = 997;
+  agv.skew_seed = 0xfeedULL;
+  const std::string agv_cmd = explicit_reproducer(agv);
+  EXPECT_NE(agv_cmd.find("--skew-seed=65261"), std::string::npos) << agv_cmd;
+  EXPECT_EQ(agv_cmd.find("--op="), std::string::npos) << agv_cmd;
+
+  FuzzCase hier;
+  hier.variant = Variant::AllgatherBruckHier;
+  hier.nranks = 12;
+  hier.nbytes = 12 * 64;
+  hier.smp_cores_per_node = 4;
+  const std::string hier_cmd = explicit_reproducer(hier);
+  EXPECT_NE(hier_cmd.find("--smp-cores=4"), std::string::npos) << hier_cmd;
 }
 
 TEST(FuzzCaseGenerator, FitRanksRoundsDownToLegalCounts) {
@@ -114,8 +189,13 @@ TEST(FuzzRunner, SabotageOnlyAppliesToTunedRingVariants) {
   for (const Variant v : all_variants()) {
     c.variant = v;
     const bool tuned = v == Variant::BcastScatterRingTuned ||
-                       v == Variant::AllgatherRingTuned;
+                       v == Variant::AllgatherRingTuned ||
+                       v == Variant::AllgathervRingTuned ||
+                       v == Variant::AllreduceRsAgTuned;
     EXPECT_EQ(sabotage_applies(c, Sabotage::RingPlanStepOffByOne), tuned)
+        << to_string(v);
+    EXPECT_EQ(sabotage_applies(c, Sabotage::ReduceScatterDoubleFinal),
+              v == Variant::ReduceScatterBlocks)
         << to_string(v);
     EXPECT_FALSE(sabotage_applies(c, Sabotage::None)) << to_string(v);
   }

@@ -3,6 +3,7 @@
 // closed forms, and agreement with the threaded fuzz oracle.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 #include "coll/tags.hpp"
@@ -10,6 +11,7 @@
 #include "fuzz/case.hpp"
 #include "fuzz/runner.hpp"
 #include "trace/match.hpp"
+#include "trace/reduce_flow.hpp"
 #include "trace/schedule.hpp"
 #include "verify/conformance.hpp"
 #include "verify/hb.hpp"
@@ -264,6 +266,170 @@ TEST(Verifier, DefaultPlistIsDenseThenSampled) {
   EXPECT_EQ(default_plist(64).back(), 64);
 }
 
+// -------------------------------------------------- reduce-flow hand cases
+
+trace::ReduceFlowOptions whole_buffer_flow(int nranks, std::uint64_t nbytes) {
+  trace::ReduceFlowOptions opt;
+  opt.nchunks = 1;
+  opt.chunk_bytes = nbytes;
+  opt.required.assign(static_cast<std::size_t>(nranks), {0, 1});
+  return opt;
+}
+
+TEST(ReduceFlow, AdjacentPartialExchangeCompletes) {
+  // The recursive-doubling step at P=2: both ranks swap their whole-buffer
+  // partials; each merge is adjacent and lands exactly at the full circle.
+  Schedule s = two_rank_schedule();
+  const int t = coll::tags::kRingAllgather;
+  s.ops[0] = {send_op(1, t, 256, 0), recv_op(1, t, 256, 0)};
+  s.ops[1] = {recv_op(0, t, 256, 0), send_op(0, t, 256, 0)};
+  const auto m = trace::match_schedule(s);
+  const trace::ReduceFlowReport rep =
+      trace::validate_reduce_flow(s, m, whole_buffer_flow(2, 256));
+  EXPECT_TRUE(rep.ok) << rep.diagnostics;
+  EXPECT_EQ(rep.redundant_bytes, 0u);
+  EXPECT_EQ(rep.redundant_msgs, 0u);
+}
+
+TEST(ReduceFlow, CompleteOverCompleteIsCountedRedundant) {
+  // After the exchange both ranks are complete; a third delivery re-ships a
+  // fully reduced chunk to a rank that already holds it. That is priced as
+  // redundancy (the generalized paper excess), not an error.
+  Schedule s = two_rank_schedule();
+  const int t = coll::tags::kRingAllgather;
+  s.ops[0] = {send_op(1, t, 256, 0), recv_op(1, t, 256, 0),
+              recv_op(1, t, 256, 0)};
+  s.ops[1] = {recv_op(0, t, 256, 0), send_op(0, t, 256, 0),
+              send_op(0, t, 256, 0)};
+  const auto m = trace::match_schedule(s);
+  const trace::ReduceFlowReport rep =
+      trace::validate_reduce_flow(s, m, whole_buffer_flow(2, 256));
+  EXPECT_TRUE(rep.ok) << rep.diagnostics;
+  EXPECT_EQ(rep.redundant_bytes, 256u);
+  EXPECT_EQ(rep.redundant_msgs, 1u);
+}
+
+TEST(ReduceFlow, PartialOverCompleteIsAnError) {
+  // Rank 1 ships its lone contribution twice. The first merge completes
+  // rank 0; folding the second (still partial) copy in would double-count
+  // rank 1's contribution — the validator must reject it.
+  Schedule s = two_rank_schedule();
+  const int t = coll::tags::kRingAllgather;
+  s.ops[0] = {recv_op(1, t, 256, 0), recv_op(1, t, 256, 0)};
+  s.ops[1] = {send_op(0, t, 256, 0), send_op(0, t, 256, 0)};
+  const auto m = trace::match_schedule(s);
+  const trace::ReduceFlowReport rep =
+      trace::validate_reduce_flow(s, m, whole_buffer_flow(2, 256));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.diagnostics.find("already complete"), std::string::npos)
+      << rep.diagnostics;
+}
+
+TEST(ReduceFlow, NonAdjacentPartialMergeIsAnError) {
+  // P=4: rank 2's contribution span {2} is not adjacent to rank 0's {0}
+  // on the relative circle — folding them would leave a hole at rank 1.
+  Schedule s;
+  s.nranks = 4;
+  s.nbytes = 256;
+  s.ops.resize(4);
+  const int t = coll::tags::kRingAllgather;
+  s.ops[0] = {recv_op(2, t, 256, 0)};
+  s.ops[2] = {send_op(0, t, 256, 0)};
+  const auto m = trace::match_schedule(s);
+  const trace::ReduceFlowReport rep =
+      trace::validate_reduce_flow(s, m, whole_buffer_flow(4, 256));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.diagnostics.find("adjacent"), std::string::npos)
+      << rep.diagnostics;
+}
+
+TEST(ReduceFlow, MissingRequiredRangeIsAnError) {
+  // A schedule with no messages leaves every rank partial; the required
+  // ranges demand fully reduced chunks.
+  Schedule s = two_rank_schedule();
+  const auto m = trace::match_schedule(s);
+  const trace::ReduceFlowReport rep =
+      trace::validate_reduce_flow(s, m, whole_buffer_flow(2, 256));
+  EXPECT_FALSE(rep.ok);
+}
+
+// ------------------------------------------------ reduction-family proofs
+
+TEST(Verifier, FamilyAnchorCountsAtP8AndP10) {
+  // The generalized analogue of the paper's 56 -> 44 / 90 -> 75 table:
+  // blocked reduce_scatter 68 / 105, allreduce 124 -> 112 / 195 -> 180.
+  for (const auto& [P, rs, ar_native, ar_tuned] :
+       {std::tuple{8, 68u, 124u, 112u}, std::tuple{10, 105u, 195u, 180u}}) {
+    fuzz::FuzzCase c;
+    c.nranks = P;
+    c.nbytes = static_cast<std::uint64_t>(P) * 512;
+    c.root = 0;
+
+    c.variant = fuzz::Variant::ReduceScatterBlocks;
+    const CaseResult blocks = verify_case(c);
+    EXPECT_TRUE(blocks.ok) << blocks.summary();
+    EXPECT_EQ(blocks.total_sends, rs);
+    EXPECT_EQ(blocks.redundant_bytes, 0u);
+
+    c.variant = fuzz::Variant::AllreduceRsAgNative;
+    const CaseResult native = verify_case(c);
+    EXPECT_TRUE(native.ok) << native.summary();
+    EXPECT_EQ(native.total_sends, ar_native);
+    EXPECT_GT(native.redundant_bytes, 0u);  // the enclosed allgather excess
+
+    c.variant = fuzz::Variant::AllreduceRsAgTuned;
+    const CaseResult tuned = verify_case(c);
+    EXPECT_TRUE(tuned.ok) << tuned.summary();
+    EXPECT_EQ(tuned.total_sends, ar_tuned);
+    EXPECT_EQ(tuned.redundant_bytes, 0u);
+  }
+}
+
+TEST(Verifier, DoubleFinalSabotageYieldsRedundancyWitness) {
+  fuzz::FuzzCase c;
+  c.variant = fuzz::Variant::ReduceScatterBlocks;
+  c.nranks = 8;
+  c.nbytes = 8192;
+  c.root = 3;
+  const auto sab = fuzz::Sabotage::ReduceScatterDoubleFinal;
+  const CaseResult res = verify_case(c, VerifyOptions{}, sab);
+  EXPECT_FALSE(res.ok);
+  EXPECT_GT(res.redundant_msgs, 0u);
+  bool has_redundancy_witness = false;
+  for (const std::string& f : res.failures) {
+    if (f.rfind("redundancy", 0) == 0) has_redundancy_witness = true;
+  }
+  EXPECT_TRUE(has_redundancy_witness) << res.summary();
+  // The threaded oracle agrees: values are right, counts are not.
+  const fuzz::RunOutcome oracle = fuzz::run_case(c, sab);
+  EXPECT_FALSE(oracle.ok);
+}
+
+TEST(Verifier, SkewedAllgathervMatchesClosedFormsAndTunedIsWasteFree) {
+  for (const std::uint64_t skew : {0x1111u, 0xabcdu, 0x7u}) {
+    fuzz::FuzzCase c;
+    c.nranks = 10;
+    c.nbytes = 12288;
+    c.root = 4;
+    c.skew_seed = skew;
+
+    c.variant = fuzz::Variant::AllgathervRingNative;
+    const TransferExpectation want = expected_transfers(c);
+    const CaseResult native = verify_case(c);
+    EXPECT_TRUE(native.ok) << native.summary();
+    EXPECT_EQ(native.total_sends, 90u);  // message count is size-oblivious
+    ASSERT_TRUE(want.redundant_bytes.has_value());
+    EXPECT_EQ(native.redundant_bytes, *want.redundant_bytes);
+    EXPECT_GT(native.redundant_bytes, 0u);
+
+    c.variant = fuzz::Variant::AllgathervRingTuned;
+    const CaseResult tuned = verify_case(c);
+    EXPECT_TRUE(tuned.ok) << tuned.summary();
+    EXPECT_EQ(tuned.total_sends, 75u);  // same plan as the uniform ring
+    EXPECT_EQ(tuned.redundant_bytes, 0u);
+  }
+}
+
 // ----------------------------------------------- oracle/verifier agreement
 
 TEST(Verifier, AgreesWithThreadedOracleOn100SeededCases) {
@@ -274,13 +440,26 @@ TEST(Verifier, AgreesWithThreadedOracleOn100SeededCases) {
   gen.max_ranks = 16;
   gen.max_bytes = 64 * 1024;
   gen.faults = false;  // faults perturb timing, not schedules
+  std::set<fuzz::Variant> seen;
   for (std::uint64_t i = 0; i < 100; ++i) {
     const fuzz::FuzzCase c = fuzz::sample_case(20260806, i, gen);
+    seen.insert(c.variant);
     const fuzz::RunOutcome oracle = fuzz::run_case(c);
     const CaseResult sym = verify_case(c);
     EXPECT_EQ(oracle.ok, sym.ok)
         << describe(c) << "\noracle: " << oracle.detail
         << "\nverifier: " << sym.summary();
+  }
+  // The agreement sweep must actually exercise the ownership-aware
+  // family, not just the bcast/allgather paths.
+  for (const auto v :
+       {fuzz::Variant::ReduceScatterRing, fuzz::Variant::ReduceScatterBlocks,
+        fuzz::Variant::AllreduceRsAgNative, fuzz::Variant::AllreduceRsAgTuned,
+        fuzz::Variant::AllreduceRecursiveDoubling,
+        fuzz::Variant::AllgathervRingNative,
+        fuzz::Variant::AllgathervRingTuned,
+        fuzz::Variant::AllgatherBruckHier}) {
+    EXPECT_TRUE(seen.count(v)) << fuzz::to_string(v);
   }
 }
 
@@ -290,6 +469,8 @@ TEST(Verifier, AgreesWithOracleUnderSabotage) {
   // stay green where the sabotage does not apply).
   for (const auto v : {fuzz::Variant::AllgatherRingTuned,
                        fuzz::Variant::BcastScatterRingTuned,
+                       fuzz::Variant::AllreduceRsAgTuned,
+                       fuzz::Variant::AllgathervRingTuned,
                        fuzz::Variant::BcastBinomial}) {
     fuzz::FuzzCase c;
     c.variant = v;

@@ -1,0 +1,152 @@
+// Property tests for the skewed variable-block partitions behind
+// allgatherv: skewed_counts must be an exact partition of the byte count
+// (deterministic, with genuine zero-weight blocks), VarLayout must cover
+// every byte exactly once through disp/count/range_count, and the
+// subtree-span ownership identities the closed forms rest on must hold
+// for every rank at every P up to 1024.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "coll/scatter_binomial.hpp"
+#include "comm/vchunks.hpp"
+#include "core/transfer_analysis.hpp"
+
+namespace bsb {
+namespace {
+
+std::vector<int> sweep_sizes() {
+  std::vector<int> ps;
+  for (int p = 1; p <= 64; ++p) ps.push_back(p);
+  for (const int p : {100, 127, 128, 129, 255, 256, 257, 511, 512, 1000, 1024})
+    ps.push_back(p);
+  return ps;
+}
+
+TEST(SkewedCounts, PartitionsExactlyAndDeterministically) {
+  std::uint64_t zero_chunks = 0;
+  std::uint64_t total_chunks = 0;
+  for (const int P : sweep_sizes()) {
+    for (const std::uint64_t nbytes : {0ULL, 1ULL, 997ULL, 65536ULL}) {
+      for (const std::uint64_t seed : {0ULL, 1ULL, 0xdeadbeefULL}) {
+        const auto counts = skewed_counts(P, nbytes, seed);
+        ASSERT_EQ(counts.size(), static_cast<std::size_t>(P));
+        const std::uint64_t sum =
+            std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+        EXPECT_EQ(sum, nbytes) << "P=" << P << " seed=" << seed;
+        EXPECT_EQ(counts, skewed_counts(P, nbytes, seed))
+            << "not deterministic at P=" << P;
+        // Zero-fraction statistics only make sense when the byte budget
+        // is plentiful; nbytes=0/1 force nearly everything to zero.
+        if (nbytes == 65536) {
+          for (const std::uint64_t c : counts) {
+            ++total_chunks;
+            if (c == 0) ++zero_chunks;
+          }
+        }
+      }
+    }
+  }
+  // The generator aims at ~1/8 zero-weight blocks; demand they exist in
+  // bulk so the zero-block code paths are really being exercised.
+  EXPECT_GT(zero_chunks, total_chunks / 32);
+  EXPECT_LT(zero_chunks, total_chunks / 2);
+}
+
+TEST(SkewedCounts, DifferentSeedsDisagreeSomewhere) {
+  const auto a = skewed_counts(64, 65536, 1);
+  const auto b = skewed_counts(64, 65536, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(VarLayout, CoversEveryByteExactlyOnce) {
+  for (const int P : sweep_sizes()) {
+    for (const std::uint64_t nbytes : {0ULL, 1ULL, 997ULL, 65536ULL}) {
+      const VarLayout layout(skewed_counts(P, nbytes, 0x5eedULL));
+      ASSERT_EQ(layout.nchunks(), P);
+      ASSERT_EQ(layout.nbytes(), nbytes);
+      // disp is the prefix sum of count: blocks tile [0, nbytes) in order
+      // with no gap and no overlap.
+      std::uint64_t cursor = 0;
+      for (int c = 0; c < P; ++c) {
+        EXPECT_EQ(layout.disp(c), cursor) << "P=" << P << " chunk=" << c;
+        cursor += layout.count(c);
+      }
+      EXPECT_EQ(cursor, nbytes);
+      // range_count must agree with summed per-chunk counts on every
+      // window, including the wrap-free full window.
+      EXPECT_EQ(layout.range_count(0, P), nbytes);
+      for (int first = 0; first < P; first += (P > 16 ? 7 : 1)) {
+        std::uint64_t manual = 0;
+        const int n = std::min((first * 3) % P + 1, P - first);
+        for (int i = 0; i < n; ++i) manual += layout.count(first + i);
+        EXPECT_EQ(layout.range_count(first, n), manual)
+            << "P=" << P << " first=" << first << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(VarLayout, SingleRankOwnsEverythingAtPEquals1) {
+  const VarLayout layout(skewed_counts(1, 4096, 7));
+  EXPECT_EQ(layout.nchunks(), 1);
+  EXPECT_EQ(layout.count(0), 4096u);
+  EXPECT_EQ(layout.disp(0), 0u);
+  EXPECT_EQ(layout.range_count(0, 1), 4096u);
+}
+
+TEST(SubtreeSpanIdentities, OwnershipBlocksTileTheLayoutAndPriceTheSavings) {
+  for (const int P : sweep_sizes()) {
+    if (P < 2) continue;
+    const VarLayout layout(skewed_counts(P, 65536, 0xabcdULL));
+    // Post-scatter ownership blocks [rel, rel+span) are nested, start at
+    // the owner, and their per-rank extra holdings sum to the tuned ring
+    // savings -- the identity the family closed forms are priced with.
+    std::uint64_t span_excess = 0;
+    std::uint64_t ancestor_sum = 0;
+    std::uint64_t held = 0;
+    for (int rel = 0; rel < P; ++rel) {
+      const int span = coll::scatter_subtree_span(rel, P);
+      ASSERT_GE(span, 1);
+      ASSERT_LE(rel + span, P) << "subtree block overflows at rel=" << rel;
+      span_excess += static_cast<std::uint64_t>(span) - 1;
+      ancestor_sum += core::block_ancestors(rel);
+      held += layout.range_count(rel, span);
+    }
+    EXPECT_EQ(span_excess, core::tuned_ring_savings(P)) << "P=" << P;
+    EXPECT_EQ(ancestor_sum, core::tuned_ring_savings(P)) << "P=" << P;
+    // Every byte a non-owner holds beyond its own block is a byte the
+    // native allgatherv re-delivers; the root's copy covers the rest.
+    std::uint64_t excess_bytes = 0;
+    for (int rel = 0; rel < P; ++rel) {
+      const int span = coll::scatter_subtree_span(rel, P);
+      excess_bytes += layout.range_count(rel, span) - layout.count(rel);
+    }
+    EXPECT_EQ(held, layout.nbytes() + excess_bytes) << "P=" << P;
+  }
+}
+
+TEST(FamilyClosedForms, AnchorsAndScalingLawsHold) {
+  // The generalized anchors from the paper's construction.
+  EXPECT_EQ(core::blocked_reduce_scatter_transfers(8), 68u);
+  EXPECT_EQ(core::allreduce_rsag_native_transfers(8), 124u);
+  EXPECT_EQ(core::allreduce_rsag_tuned_transfers(8), 112u);
+  EXPECT_EQ(core::blocked_reduce_scatter_transfers(10), 105u);
+  EXPECT_EQ(core::allreduce_rsag_native_transfers(10), 195u);
+  EXPECT_EQ(core::allreduce_rsag_tuned_transfers(10), 180u);
+  for (const int P : sweep_sizes()) {
+    if (P < 2) continue;
+    const auto native = core::native_ring_transfers(P);
+    EXPECT_EQ(core::blocked_reduce_scatter_transfers(P),
+              native + core::tuned_ring_savings(P));
+    EXPECT_EQ(core::allreduce_rsag_native_transfers(P),
+              core::blocked_reduce_scatter_transfers(P) + native);
+    EXPECT_EQ(core::allreduce_rsag_tuned_transfers(P), 2 * native);
+  }
+}
+
+}  // namespace
+}  // namespace bsb

@@ -48,6 +48,7 @@ void usage(std::ostream& os) {
         "Explicit replay (prints of shrunk reproducers use these):\n"
         "  --variant=NAME --ranks=N [--root=R] [--bytes=B] [--eager=E]\n"
         "  [--segment=S] [--smp-cores=C] [--smsg=B] [--mmsg=B] [--tuned=0|1]\n"
+        "  [--op=sum|max] [--dtype=i32|f64] [--skew-seed=N]\n"
         "  [--fault-seed=N --delay-prob=P --max-delay-us=U --reorder-prob=P\n"
         "   --force-rndv-prob=P --force-eager-prob=P]\n";
 }
@@ -123,6 +124,22 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       ec.mmsg_limit = num();
     } else if (key == "--tuned") {
       ec.use_tuned_ring = num() != 0;
+    } else if (key == "--op") {
+      const auto op = bsb::coll::red_op_from_string(val);
+      if (!op) {
+        std::cerr << "unknown reduction op '" << val << "'\n";
+        return std::nullopt;
+      }
+      ec.red_op = *op;
+    } else if (key == "--dtype") {
+      const auto dt = bsb::coll::red_dtype_from_string(val);
+      if (!dt) {
+        std::cerr << "unknown reduction dtype '" << val << "'\n";
+        return std::nullopt;
+      }
+      ec.red_dtype = *dt;
+    } else if (key == "--skew-seed") {
+      ec.skew_seed = num();
     } else if (key == "--fault-seed") {
       ec.faults.enabled = true;
       ec.faults.seed = num();

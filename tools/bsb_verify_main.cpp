@@ -45,17 +45,19 @@ void usage(std::ostream& os) {
         "  --sizes=a,b         buffer sizes in bytes (default 12288,524288)\n"
         "  --eager=a,b         eager thresholds to prove deadlock freedom\n"
         "                      under (default 0,65536; 0 = pure rendezvous)\n"
-        "  --variant=NAME      restrict to one variant (default all 13)\n"
+        "  --variant=NAME      restrict to one variant (default: all)\n"
         "  --all-roots-upto=N  try every root for P <= N (default 10)\n"
         "  --no-closed-forms   skip the dense closed-form pass over [2,pmax]\n"
         "  --json=PATH         write a bsb-verify-v1 JSON artifact\n"
         "  --verbose           print every proven case\n\n"
         "Single case:\n"
-        "  --variant=NAME --ranks=N [--root=R] [--bytes=B]\n\n"
+        "  --variant=NAME --ranks=N [--root=R] [--bytes=B] [--skew-seed=N]\n"
+        "  (shape is snapped to the variant's block / reduction grain)\n\n"
         "Detector checks:\n"
         "  --selftest          sabotage + broken schedules must be caught\n"
         "  --demo-broken=KIND  verify a deliberately broken schedule and\n"
-        "                      exit nonzero; KIND = cycle | race | truncation\n";
+        "                      exit nonzero; KIND = cycle | race |\n"
+        "                      truncation | redundant-rs\n";
 }
 
 std::vector<std::uint64_t> parse_u64_list(const std::string& val) {
@@ -206,12 +208,52 @@ int run_selftest(std::ostream& out) {
   const CaseResult clean = bsb::verify::verify_case(tuned);
   expect(clean.ok, "the un-sabotaged configuration still proves clean");
 
+  bsb::fuzz::FuzzCase rs;
+  rs.variant = bsb::fuzz::Variant::ReduceScatterBlocks;
+  rs.nranks = 8;
+  rs.nbytes = 8192;
+  rs.root = 5;
+  rs = bsb::fuzz::normalize_case(rs);
+  const CaseResult rs_sab = bsb::verify::verify_case(
+      rs, VerifyOptions{}, bsb::fuzz::Sabotage::ReduceScatterDoubleFinal);
+  expect(!rs_sab.ok && has_failure_with_prefix(rs_sab, "redundancy"),
+         "double-sent reduce_scatter finals yield a redundancy witness");
+  if (!rs_sab.failures.empty()) out << "    " << rs_sab.failures.front() << "\n";
+
+  const CaseResult rs_clean = bsb::verify::verify_case(rs);
+  expect(rs_clean.ok && rs_clean.redundant_msgs == 0,
+         "the un-sabotaged blocked reduce_scatter proves zero redundancy");
+
+  bsb::fuzz::FuzzCase agv;
+  agv.variant = bsb::fuzz::Variant::AllgathervRingTuned;
+  agv.nranks = 10;
+  agv.nbytes = 12288;
+  agv.root = 2;
+  agv.skew_seed = 0xfeedu;
+  const CaseResult agv_clean = bsb::verify::verify_case(agv);
+  expect(agv_clean.ok && agv_clean.redundant_bytes == 0,
+         "the tuned skewed allgatherv proves zero redundant bytes");
+
   out << (bad == 0 ? "selftest: all detectors fired\n"
                    : "selftest: DETECTOR GAPS\n");
   return bad == 0 ? 0 : 1;
 }
 
 int run_demo_broken(const std::string& kind, std::ostream& out) {
+  if (kind == "redundant-rs") {
+    // A blocked reduce_scatter that ships every finished chunk twice: the
+    // values stay correct, but the reduce-flow pass must price the second
+    // delivery as redundant and fail the zero-redundancy expectation.
+    bsb::fuzz::FuzzCase c;
+    c.variant = bsb::fuzz::Variant::ReduceScatterBlocks;
+    c.nranks = 8;
+    c.nbytes = 8192;
+    c = bsb::fuzz::normalize_case(c);
+    const CaseResult res = bsb::verify::verify_case(
+        c, VerifyOptions{}, bsb::fuzz::Sabotage::ReduceScatterDoubleFinal);
+    out << res.summary() << "\n";
+    return res.ok ? 0 : 1;
+  }
   Schedule sched;
   if (kind == "cycle") {
     sched = broken_cycle();
@@ -247,6 +289,7 @@ int main(int argc, char** argv) {
   int single_ranks = 0;
   int single_root = 0;
   std::uint64_t single_bytes = 65536;
+  std::uint64_t single_skew_seed = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -292,6 +335,8 @@ int main(int argc, char** argv) {
       single_root = static_cast<int>(num());
     } else if (key == "--bytes") {
       single_bytes = num();
+    } else if (key == "--skew-seed") {
+      single_skew_seed = num();
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       usage(std::cerr);
@@ -314,6 +359,8 @@ int main(int argc, char** argv) {
     c.nbytes = single_bytes;
     c.segment_bytes = 4096;
     c.smp_cores_per_node = 4;
+    c.skew_seed = single_skew_seed;
+    c = bsb::fuzz::normalize_case(c);
     VerifyOptions vopt;
     vopt.eager_thresholds = opt.eager_thresholds;
     const CaseResult res = bsb::verify::verify_case(c, vopt);
