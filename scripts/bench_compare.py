@@ -5,11 +5,15 @@ Usage:
   bench_compare.py validate FILE
       Check that FILE is a well-formed bsb-bench-v1 artifact.
   bench_compare.py compare BASELINE NEW [--max-regress FRAC] [--min-speedup X]
+                   [--require-all]
       Fail (exit 1) if any metric present in both files regressed in
       ops/sec by more than FRAC (default 0.30, i.e. new >= 0.7x baseline).
       With --min-speedup X, additionally require every shared metric to
       reach at least X times the baseline ops/sec (used to assert a
-      claimed optimization actually landed).
+      claimed optimization actually landed). With --require-all, a metric
+      present in the baseline but absent from NEW is an error instead of a
+      note — a gate cannot pass because the new run silently dropped a
+      series.
 
 Exit codes: 0 ok, 1 validation/threshold failure, 2 usage error.
 
@@ -85,15 +89,19 @@ def metric_map(doc):
     return {m["name"]: m for m in doc["metrics"]}
 
 
-def compare(base_doc, new_doc, base_path, new_path, max_regress, min_speedup):
+def compare(base_doc, new_doc, base_path, new_path, max_regress, min_speedup,
+            require_all=False):
     base, new = metric_map(base_doc), metric_map(new_doc)
     shared = [n for n in base if n in new]
     if not shared:
         sys.exit("error: the two artifacts share no metric names")
     missing = [n for n in base if n not in new]
     if missing:
-        print(f"note: {len(missing)} baseline metric(s) absent from "
+        severity = "error" if require_all else "note"
+        print(f"{severity}: {len(missing)} baseline metric(s) absent from "
               f"{new_path}: {', '.join(sorted(missing))}", file=sys.stderr)
+        if require_all:
+            sys.exit(1)
     failures = []
     width = max(len(n) for n in shared)
     print(f"{'metric':<{width}}  {'base ops/s':>12}  {'new ops/s':>12}  "
@@ -135,6 +143,9 @@ def main():
     c.add_argument("--min-speedup", type=float, default=None,
                    help="require every shared metric to reach this ops/sec "
                         "multiple of the baseline")
+    c.add_argument("--require-all", action="store_true",
+                   help="fail when a baseline metric is missing from NEW "
+                        "instead of noting it")
     args = parser.parse_args()
     if args.cmd == "validate":
         doc = load(args.file)
@@ -144,7 +155,7 @@ def main():
         validate(base_doc, args.baseline)
         validate(new_doc, args.new)
         compare(base_doc, new_doc, args.baseline, args.new,
-                args.max_regress, args.min_speedup)
+                args.max_regress, args.min_speedup, args.require_all)
 
 
 if __name__ == "__main__":

@@ -58,14 +58,19 @@ echo "==== static schedule proofs (sanitized) ===="
 build-asan/tools/bsb-verify --selftest
 build-asan/tools/bsb-verify --pmax=48
 
-echo "==== TSan pass (thread backend + chaos + matching) ===="
+echo "==== TSan pass (thread backend + progress engine + chaos + matching) ===="
 cmake --preset tsan
 cmake --build --preset tsan --target test_mpisim test_matching test_chaos \
-  bsb-fuzz -j "${JOBS}"
+  test_icoll bsb-fuzz -j "${JOBS}"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 build-tsan/tests/test_mpisim
 build-tsan/tests/test_matching
 build-tsan/tests/test_chaos
+build-tsan/tests/test_icoll
 build-tsan/tools/bsb-fuzz --time-budget=15 --cases=1000000
+# Concurrent in-flight collectives under TSan: the progress engine's
+# lock-free completion path with three broadcasts per rank at once.
+build-tsan/tools/bsb-fuzz --variant=ibcast-concurrent --ranks=16 \
+  --bytes=65536 --root=5 --mmsg=32768 --tuned=1
 
 echo "check.sh: all green"

@@ -1,0 +1,128 @@
+#include "coll/plan.hpp"
+
+#include <algorithm>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::coll {
+
+std::uint64_t Plan::total_sends() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& rank_steps : steps) {
+    for (const PlanStep& s : rank_steps) {
+      if (s.kind != PlanStep::Kind::Recv) ++n;
+    }
+  }
+  return n;
+}
+
+Plan compile_plan(int nranks, std::uint64_t nbytes, int root, std::string name,
+                  const trace::RankProgram& program) {
+  BSB_REQUIRE(nranks >= 1, "compile_plan: nranks must be positive");
+  BSB_REQUIRE(root >= 0 && root < nranks, "compile_plan: root out of range");
+  Plan plan;
+  plan.nranks = nranks;
+  plan.nbytes = nbytes;
+  plan.root = root;
+  plan.name = std::move(name);
+  plan.steps.resize(static_cast<std::size_t>(nranks));
+
+  std::vector<std::byte> scratch(nbytes);
+  std::vector<trace::Op> ops;
+  for (int r = 0; r < nranks; ++r) {
+    ops.clear();
+    trace::RecordingComm recorder(r, nranks, scratch, ops);
+    program(recorder, scratch);
+
+    auto& steps = plan.steps[static_cast<std::size_t>(r)];
+    steps.reserve(ops.size());
+    for (const trace::Op& op : ops) {
+      PlanStep step;
+      switch (op.kind) {
+        case trace::OpKind::Send: step.kind = PlanStep::Kind::Send; break;
+        case trace::OpKind::Recv: step.kind = PlanStep::Kind::Recv; break;
+        case trace::OpKind::SendRecv: step.kind = PlanStep::Kind::SendRecv; break;
+        case trace::OpKind::Barrier:
+          BSB_REQUIRE(false, "compile_plan: algorithm uses barriers");
+      }
+      if (op.has_send()) {
+        BSB_REQUIRE(op.send_off != trace::kForeignOffset,
+                    "compile_plan: algorithm used scratch memory");
+        step.dst = op.dst;
+        step.send_off = op.send_off;
+        step.send_len = op.send_bytes;
+        step.tag = op.send_tag;
+      }
+      if (op.has_recv()) {
+        BSB_REQUIRE(op.recv_off != trace::kForeignOffset,
+                    "compile_plan: algorithm used scratch memory");
+        BSB_REQUIRE(!op.has_send() || op.recv_tag == op.send_tag,
+                    "compile_plan: sendrecv halves use different tags");
+        step.src = op.src;
+        step.recv_off = op.recv_off;
+        step.recv_len = op.recv_cap;
+        step.tag = op.recv_tag;
+      }
+      plan.max_tag = std::max(plan.max_tag, step.tag);
+      steps.push_back(step);
+    }
+  }
+  return plan;
+}
+
+void execute_plan_rank(Comm& comm, const Plan& plan, int rank,
+                       std::span<std::byte> buffer) {
+  BSB_REQUIRE(rank >= 0 && rank < plan.nranks,
+              "execute_plan_rank: rank out of range");
+  BSB_REQUIRE(comm.size() == plan.nranks,
+              "execute_plan_rank: communicator size differs from the plan");
+  BSB_REQUIRE(buffer.size() == plan.nbytes,
+              "execute_plan_rank: buffer size differs from the planned size");
+  for (const PlanStep& s : plan.steps[static_cast<std::size_t>(rank)]) {
+    switch (s.kind) {
+      case PlanStep::Kind::Send:
+        comm.send(std::span<const std::byte>(buffer).subspan(s.send_off, s.send_len),
+                  s.dst, s.tag);
+        break;
+      case PlanStep::Kind::Recv:
+        comm.recv(buffer.subspan(s.recv_off, s.recv_len), s.src, s.tag);
+        break;
+      case PlanStep::Kind::SendRecv:
+        comm.sendrecv(
+            std::span<const std::byte>(buffer).subspan(s.send_off, s.send_len),
+            s.dst, s.tag, buffer.subspan(s.recv_off, s.recv_len), s.src, s.tag);
+        break;
+    }
+  }
+}
+
+std::string describe_plan_rank(const Plan& plan, int rank) {
+  BSB_REQUIRE(rank >= 0 && rank < plan.nranks,
+              "describe_plan_rank: rank out of range");
+  const auto& steps = plan.steps[static_cast<std::size_t>(rank)];
+  std::string out = plan.name + ", " + std::to_string(plan.nbytes) +
+                    " bytes, root " + std::to_string(plan.root) + ", " +
+                    std::to_string(steps.size()) + " step(s) on rank " +
+                    std::to_string(rank) + "\n";
+  for (const PlanStep& s : steps) {
+    switch (s.kind) {
+      case PlanStep::Kind::Send:
+        out += "  send  [" + std::to_string(s.send_off) + "+" +
+               std::to_string(s.send_len) + ") -> " + std::to_string(s.dst) + "\n";
+        break;
+      case PlanStep::Kind::Recv:
+        out += "  recv  [" + std::to_string(s.recv_off) + "+" +
+               std::to_string(s.recv_len) + ") <- " + std::to_string(s.src) + "\n";
+        break;
+      case PlanStep::Kind::SendRecv:
+        out += "  xchg  [" + std::to_string(s.send_off) + "+" +
+               std::to_string(s.send_len) + ") -> " + std::to_string(s.dst) +
+               ", [" + std::to_string(s.recv_off) + "+" +
+               std::to_string(s.recv_len) + ") <- " + std::to_string(s.src) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bsb::coll

@@ -1,0 +1,69 @@
+// coll::Plan — a collective "compiled" to per-rank point-to-point step
+// lists, the shared representation behind core::PersistentBcast, the
+// nonblocking collectives (core::ibcast / core::iallgather) and the
+// process-wide schedule cache. A Plan holds the step tables for ALL ranks
+// of the communicator, so one cached Plan serves every rank thread of a
+// World and replanning cost is paid once per (P, root, nbytes, algorithm).
+//
+// Plans are compiled by running the blocking algorithm under
+// trace::RecordingComm once per rank: the algorithms are data-oblivious,
+// so the recording IS the schedule every execution will follow.
+// Compilation rejects algorithms that use barriers or scratch memory
+// outside the collective buffer — those cannot be replayed offset-relative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "trace/record.hpp"
+
+namespace bsb::coll {
+
+/// One precompiled point-to-point action of one rank.
+struct PlanStep {
+  enum class Kind : std::uint8_t { Send, Recv, SendRecv } kind = Kind::Send;
+  // send half (Send / SendRecv)
+  int dst = -1;
+  std::uint64_t send_off = 0;
+  std::uint64_t send_len = 0;
+  // receive half (Recv / SendRecv)
+  int src = -1;
+  std::uint64_t recv_off = 0;
+  std::uint64_t recv_len = 0;
+  int tag = 0;
+};
+
+/// A collective compiled for every rank of a P-rank communicator.
+/// Immutable after compile_plan; shared across threads via
+/// shared_ptr<const Plan> (the schedule cache hands those out).
+struct Plan {
+  int nranks = 0;
+  std::uint64_t nbytes = 0;
+  int root = 0;
+  std::string name;                        // algorithm, for diagnostics
+  std::vector<std::vector<PlanStep>> steps;  // steps[rank], program order
+  int max_tag = 0;  // largest tag used by any step (progress-engine striding)
+
+  /// Number of messages the whole collective initiates.
+  std::uint64_t total_sends() const noexcept;
+};
+
+/// Compile `program` (a per-rank blocking algorithm body) into a Plan by
+/// recording each rank's op sequence. Throws if the program uses barriers
+/// or buffers outside the collective's data buffer.
+Plan compile_plan(int nranks, std::uint64_t nbytes, int root, std::string name,
+                  const trace::RankProgram& program);
+
+/// Blocking replay of rank `rank`'s step list over `buffer` (must be
+/// plan.nbytes long). PersistentBcast::execute and tests use this; the
+/// nonblocking path drives the same steps through mpisim's progress engine.
+void execute_plan_rank(Comm& comm, const Plan& plan, int rank,
+                       std::span<std::byte> buffer);
+
+/// Human-readable listing of one rank's steps.
+std::string describe_plan_rank(const Plan& plan, int rank);
+
+}  // namespace bsb::coll

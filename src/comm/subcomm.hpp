@@ -40,6 +40,15 @@ class SubComm final : public Comm {
   /// Subgroup rank of parent rank `pr`, or -1 if not a member.
   int local_rank_of(int pr) const noexcept;
 
+  /// The parent communicator this view translates onto.
+  Comm& parent() const noexcept { return *parent_; }
+
+  /// Parent ranks backing subgroup ranks 0..size()-1, in order.
+  const std::vector<int>& members() const noexcept { return members_; }
+
+  /// This subgroup's tag-namespace id (>= 1).
+  int context() const noexcept { return context_; }
+
  private:
   int translate_tag(int tag) const;
   int translate_source(int source) const;

@@ -1,0 +1,96 @@
+#include "core/icoll.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/allgather_ring_native.hpp"
+#include "coll/schedule_cache.hpp"
+#include "comm/chunks.hpp"
+#include "core/allgather_ring_tuned.hpp"
+
+namespace bsb::core {
+
+namespace {
+
+/// The ThreadComm under a SubComm (nonblocking collectives drive the
+/// parent's mailboxes directly, replicating the SubComm's translation).
+mpisim::ThreadComm& thread_parent(SubComm& comm) {
+  auto* tc = dynamic_cast<mpisim::ThreadComm*>(&comm.parent());
+  BSB_REQUIRE(tc != nullptr,
+              "nonblocking collectives need a mpisim::ThreadComm parent");
+  return *tc;
+}
+
+}  // namespace
+
+std::shared_ptr<const coll::Plan> bcast_plan(int nranks, std::uint64_t nbytes,
+                                             int root, const BcastConfig& cfg) {
+  const BcastAlgorithm algo = choose_bcast_algorithm(nbytes, nranks, cfg);
+  const coll::PlanKey key{nranks, root, nbytes, static_cast<int>(algo)};
+  return coll::process_schedule_cache().get_or_build(key, [&] {
+    return coll::compile_plan(
+        nranks, nbytes, root, to_string(algo),
+        [algo, root](Comm& c, std::span<std::byte> buf) {
+          run_bcast_algorithm(algo, c, buf, root);
+        });
+  });
+}
+
+std::shared_ptr<const coll::Plan> allgather_plan(int nranks,
+                                                 std::uint64_t nbytes, int root,
+                                                 bool tuned) {
+  const int id = tuned ? kPlanAllgatherRingTuned : kPlanAllgatherRingNative;
+  const coll::PlanKey key{nranks, root, nbytes, id};
+  return coll::process_schedule_cache().get_or_build(key, [&] {
+    return coll::compile_plan(
+        nranks, nbytes, root,
+        tuned ? "allgather_ring_tuned" : "allgather_ring_native",
+        [tuned, root](Comm& c, std::span<std::byte> buf) {
+          const ChunkLayout layout(buf.size(), c.size());
+          if (tuned) {
+            allgather_ring_tuned(c, buf, root, layout);
+          } else {
+            coll::allgather_ring_native(c, buf, root, layout);
+          }
+        });
+  });
+}
+
+mpisim::CollRequest ibcast(mpisim::ThreadComm& comm,
+                           std::span<std::byte> buffer, int root,
+                           const BcastConfig& cfg) {
+  BSB_REQUIRE(root >= 0 && root < comm.size(), "ibcast: root out of range");
+  auto plan = bcast_plan(comm.size(), buffer.size(), root, cfg);
+  return comm.progress_engine().start(std::move(plan), buffer, comm.rank(),
+                                      /*members=*/{}, /*context=*/0);
+}
+
+mpisim::CollRequest ibcast(SubComm& comm, std::span<std::byte> buffer,
+                           int root, const BcastConfig& cfg) {
+  BSB_REQUIRE(root >= 0 && root < comm.size(), "ibcast: root out of range");
+  mpisim::ThreadComm& parent = thread_parent(comm);
+  auto plan = bcast_plan(comm.size(), buffer.size(), root, cfg);
+  return parent.progress_engine().start(std::move(plan), buffer, comm.rank(),
+                                        comm.members(), comm.context());
+}
+
+mpisim::CollRequest iallgather(mpisim::ThreadComm& comm,
+                               std::span<std::byte> buffer, int root,
+                               bool tuned) {
+  BSB_REQUIRE(root >= 0 && root < comm.size(), "iallgather: root out of range");
+  auto plan = allgather_plan(comm.size(), buffer.size(), root, tuned);
+  return comm.progress_engine().start(std::move(plan), buffer, comm.rank(),
+                                      /*members=*/{}, /*context=*/0);
+}
+
+mpisim::CollRequest iallgather(SubComm& comm, std::span<std::byte> buffer,
+                               int root, bool tuned) {
+  BSB_REQUIRE(root >= 0 && root < comm.size(), "iallgather: root out of range");
+  mpisim::ThreadComm& parent = thread_parent(comm);
+  auto plan = allgather_plan(comm.size(), buffer.size(), root, tuned);
+  return parent.progress_engine().start(std::move(plan), buffer, comm.rank(),
+                                        comm.members(), comm.context());
+}
+
+}  // namespace bsb::core

@@ -1,0 +1,61 @@
+// Nonblocking collectives (MPI_Ibcast / MPI_Iallgather analogues) for the
+// mpisim thread backend: the blocking algorithm is compiled ONCE into a
+// shared coll::Plan (memoized by the process-wide schedule cache, so the
+// hot serving path never recomputes chunk layouts or ring plans) and then
+// advanced step-by-step by the caller rank's ProgressEngine. Many
+// collectives can be in flight per rank; see mpisim/progress.hpp for the
+// tag-isolation and lifetime rules.
+//
+// Results are byte-identical to the blocking counterparts: the plans are
+// recorded from the very same algorithm implementations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "coll/plan.hpp"
+#include "comm/subcomm.hpp"
+#include "core/bcast.hpp"
+#include "mpisim/progress.hpp"
+
+namespace bsb::core {
+
+/// PlanKey::algorithm ids. Bcast ids equal the BcastAlgorithm enum values;
+/// the allgather family lives at 100+ so the namespaces cannot collide.
+inline constexpr int kPlanAllgatherRingNative = 100;
+inline constexpr int kPlanAllgatherRingTuned = 101;
+
+/// The cached plan core::bcast would run for this shape (process schedule
+/// cache; builds and inserts on a miss).
+std::shared_ptr<const coll::Plan> bcast_plan(int nranks, std::uint64_t nbytes,
+                                             int root,
+                                             const BcastConfig& cfg = {});
+
+/// The cached plan of the (native or tuned) ring allgather over chunks
+/// scattered by scatter_binomial, as the blocking allgather_ring_* run.
+std::shared_ptr<const coll::Plan> allgather_plan(int nranks,
+                                                 std::uint64_t nbytes, int root,
+                                                 bool tuned);
+
+/// Nonblocking broadcast over the whole world. `buffer` must stay valid
+/// and untouched until the returned request completes.
+mpisim::CollRequest ibcast(mpisim::ThreadComm& comm,
+                           std::span<std::byte> buffer, int root,
+                           const BcastConfig& cfg = {});
+
+/// Nonblocking broadcast over a subgroup. The SubComm's parent must be a
+/// mpisim::ThreadComm; traffic uses the SubComm's tag namespace.
+mpisim::CollRequest ibcast(SubComm& comm, std::span<std::byte> buffer,
+                           int root, const BcastConfig& cfg = {});
+
+/// Nonblocking ring allgather (tuned = the paper's non-enclosed ring) over
+/// chunks scattered by scatter_binomial: chunk i owned by relative rank i.
+mpisim::CollRequest iallgather(mpisim::ThreadComm& comm,
+                               std::span<std::byte> buffer, int root,
+                               bool tuned = true);
+
+mpisim::CollRequest iallgather(SubComm& comm, std::span<std::byte> buffer,
+                               int root, bool tuned = true);
+
+}  // namespace bsb::core

@@ -1,101 +1,25 @@
 #include "core/persistent_bcast.hpp"
 
-#include <vector>
-
 #include "bsbutil/error.hpp"
-#include "trace/record.hpp"
+#include "core/icoll.hpp"
 
 namespace bsb::core {
 
 PersistentBcast::PersistentBcast(Comm& comm, std::uint64_t nbytes, int root,
                                  const BcastConfig& cfg)
-    : comm_(&comm), nbytes_(nbytes), root_(root),
+    : comm_(&comm),
       algorithm_(choose_bcast_algorithm(nbytes, comm.size(), cfg)) {
-  BSB_REQUIRE(root >= 0 && root < comm.size(), "PersistentBcast: root out of range");
-
-  // "Compile" by recording this rank's own op sequence — the algorithms
-  // are data-oblivious, so the recording IS the schedule every execution
-  // will follow. No algorithm logic is duplicated here.
-  std::vector<trace::Op> ops;
-  std::vector<std::byte> scratch(nbytes);
-  trace::RecordingComm recorder(comm.rank(), comm.size(), scratch, ops);
-  run_bcast_algorithm(algorithm_, recorder, scratch, root);
-
-  steps_.reserve(ops.size());
-  for (const trace::Op& op : ops) {
-    BcastStep step;
-    switch (op.kind) {
-      case trace::OpKind::Send: step.kind = BcastStep::Kind::Send; break;
-      case trace::OpKind::Recv: step.kind = BcastStep::Kind::Recv; break;
-      case trace::OpKind::SendRecv: step.kind = BcastStep::Kind::SendRecv; break;
-      case trace::OpKind::Barrier:
-        BSB_ASSERT(false, "PersistentBcast: broadcast algorithms use no barriers");
-    }
-    if (op.has_send()) {
-      BSB_ASSERT(op.send_off != trace::kForeignOffset,
-                 "PersistentBcast: algorithm used scratch memory");
-      step.dst = op.dst;
-      step.send_off = op.send_off;
-      step.send_len = op.send_bytes;
-      step.tag = op.send_tag;
-    }
-    if (op.has_recv()) {
-      BSB_ASSERT(op.recv_off != trace::kForeignOffset,
-                 "PersistentBcast: algorithm used scratch memory");
-      step.src = op.src;
-      step.recv_off = op.recv_off;
-      step.recv_len = op.recv_cap;
-      step.tag = op.recv_tag;
-    }
-    steps_.push_back(step);
-  }
+  BSB_REQUIRE(root >= 0 && root < comm.size(),
+              "PersistentBcast: root out of range");
+  plan_ = bcast_plan(comm.size(), nbytes, root, cfg);
 }
 
 void PersistentBcast::execute(std::span<std::byte> buffer) const {
-  BSB_REQUIRE(buffer.size() == nbytes_,
-              "PersistentBcast: buffer size differs from the planned size");
-  for (const BcastStep& s : steps_) {
-    switch (s.kind) {
-      case BcastStep::Kind::Send:
-        comm_->send(std::span<const std::byte>(buffer).subspan(s.send_off, s.send_len),
-                    s.dst, s.tag);
-        break;
-      case BcastStep::Kind::Recv:
-        comm_->recv(buffer.subspan(s.recv_off, s.recv_len), s.src, s.tag);
-        break;
-      case BcastStep::Kind::SendRecv:
-        comm_->sendrecv(
-            std::span<const std::byte>(buffer).subspan(s.send_off, s.send_len),
-            s.dst, s.tag, buffer.subspan(s.recv_off, s.recv_len), s.src, s.tag);
-        break;
-    }
-  }
+  coll::execute_plan_rank(*comm_, *plan_, comm_->rank(), buffer);
 }
 
 std::string PersistentBcast::describe() const {
-  std::string out = std::string("PersistentBcast: ") + to_string(algorithm_) +
-                    ", " + std::to_string(nbytes_) + " bytes, root " +
-                    std::to_string(root_) + ", " + std::to_string(steps_.size()) +
-                    " step(s) on rank " + std::to_string(comm_->rank()) + "\n";
-  for (const BcastStep& s : steps_) {
-    switch (s.kind) {
-      case BcastStep::Kind::Send:
-        out += "  send  [" + std::to_string(s.send_off) + "+" +
-               std::to_string(s.send_len) + ") -> " + std::to_string(s.dst) + "\n";
-        break;
-      case BcastStep::Kind::Recv:
-        out += "  recv  [" + std::to_string(s.recv_off) + "+" +
-               std::to_string(s.recv_len) + ") <- " + std::to_string(s.src) + "\n";
-        break;
-      case BcastStep::Kind::SendRecv:
-        out += "  xchg  [" + std::to_string(s.send_off) + "+" +
-               std::to_string(s.send_len) + ") -> " + std::to_string(s.dst) +
-               ", [" + std::to_string(s.recv_off) + "+" +
-               std::to_string(s.recv_len) + ") <- " + std::to_string(s.src) + "\n";
-        break;
-    }
-  }
-  return out;
+  return "PersistentBcast: " + coll::describe_plan_rank(*plan_, comm_->rank());
 }
 
 }  // namespace bsb::core

@@ -4,32 +4,28 @@
 // Solvers that broadcast the same-shaped buffer every iteration skip all
 // per-call planning; the step table also makes the tuned ring's structure
 // inspectable (used by tests and the cluster_explorer example).
+//
+// The step table is a shared coll::Plan fetched through the process-wide
+// schedule cache (coll/schedule_cache.hpp), so every rank of a World — and
+// every later PersistentBcast or core::ibcast of the same shape — reuses
+// one compilation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "comm/chunks.hpp"
+#include "coll/plan.hpp"
 #include "comm/comm.hpp"
 #include "core/bcast.hpp"
 
 namespace bsb::core {
 
-/// One precompiled point-to-point action of the persistent schedule.
-struct BcastStep {
-  enum class Kind : std::uint8_t { Send, Recv, SendRecv } kind = Kind::Send;
-  // send half
-  int dst = -1;
-  std::uint64_t send_off = 0;
-  std::uint64_t send_len = 0;
-  // receive half
-  int src = -1;
-  std::uint64_t recv_off = 0;
-  std::uint64_t recv_len = 0;
-  int tag = 0;
-};
+/// One precompiled point-to-point action of the persistent schedule
+/// (the shared plan-step representation from coll/plan.hpp).
+using BcastStep = coll::PlanStep;
 
 /// A broadcast "compiled" for this rank of `comm` at construction time.
 /// execute() may be called any number of times; the buffer must have the
@@ -44,21 +40,24 @@ class PersistentBcast {
   void execute(std::span<std::byte> buffer) const;
 
   BcastAlgorithm algorithm() const noexcept { return algorithm_; }
-  std::uint64_t nbytes() const noexcept { return nbytes_; }
-  int root() const noexcept { return root_; }
+  std::uint64_t nbytes() const noexcept { return plan_->nbytes; }
+  int root() const noexcept { return plan_->root; }
 
   /// The step list this rank will run (inspection/testing).
-  const std::vector<BcastStep>& steps() const noexcept { return steps_; }
+  const std::vector<BcastStep>& steps() const noexcept {
+    return plan_->steps[static_cast<std::size_t>(comm_->rank())];
+  }
+
+  /// The whole-communicator plan backing this handle.
+  const std::shared_ptr<const coll::Plan>& plan() const noexcept { return plan_; }
 
   /// Human-readable step listing.
   std::string describe() const;
 
  private:
   Comm* comm_;
-  std::uint64_t nbytes_;
-  int root_;
   BcastAlgorithm algorithm_;
-  std::vector<BcastStep> steps_;
+  std::shared_ptr<const coll::Plan> plan_;
 };
 
 }  // namespace bsb::core

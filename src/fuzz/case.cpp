@@ -33,6 +33,7 @@ constexpr std::array<Variant, kNumVariants> kAllVariants = {
     Variant::AllgathervRingNative,
     Variant::AllgathervRingTuned,
     Variant::AllgatherBruckHier,
+    Variant::IbcastConcurrent,
 };
 
 std::uint64_t case_key(std::uint64_t seed, std::uint64_t index) noexcept {
@@ -103,6 +104,7 @@ const char* to_string(Variant v) noexcept {
     case Variant::AllgathervRingNative: return "allgatherv-ring-native";
     case Variant::AllgathervRingTuned: return "allgatherv-ring-tuned";
     case Variant::AllgatherBruckHier: return "allgather-bruck-hier";
+    case Variant::IbcastConcurrent: return "ibcast-concurrent";
   }
   return "?";
 }
@@ -267,7 +269,8 @@ std::string describe(const FuzzCase& c) {
   if (c.variant == Variant::BcastSmp || c.variant == Variant::AllgatherBruckHier) {
     s += " cores/node=" + std::to_string(c.smp_cores_per_node);
   }
-  if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent) {
+  if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent ||
+      c.variant == Variant::IbcastConcurrent) {
     s += " smsg=" + std::to_string(c.smsg_limit) +
          " mmsg=" + std::to_string(c.mmsg_limit) +
          " tuned=" + (c.use_tuned_ring ? "1" : "0");
@@ -310,7 +313,8 @@ std::string explicit_reproducer(const FuzzCase& c) {
   if (c.variant == Variant::BcastSmp || c.variant == Variant::AllgatherBruckHier) {
     s += " --smp-cores=" + std::to_string(c.smp_cores_per_node);
   }
-  if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent) {
+  if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent ||
+      c.variant == Variant::IbcastConcurrent) {
     s += " --smsg=" + std::to_string(c.smsg_limit) +
          " --mmsg=" + std::to_string(c.mmsg_limit) +
          " --tuned=" + (c.use_tuned_ring ? "1" : "0");

@@ -42,9 +42,16 @@ enum class Variant : std::uint8_t {
   AllgathervRingTuned,
   // Locality-aware comparison point.
   AllgatherBruckHier,          // rootless; uses smp_cores_per_node
+  // Nonblocking front-end: kIbcastDepth core::ibcast operations (staggered
+  // roots) in flight at once, driven by the per-rank progress engine.
+  IbcastConcurrent,
 };
 
-inline constexpr int kNumVariants = 21;
+inline constexpr int kNumVariants = 22;
+
+/// Broadcasts IbcastConcurrent keeps in flight per rank (primary buffer
+/// plus depth-1 companions with staggered roots).
+inline constexpr int kIbcastDepth = 3;
 
 const char* to_string(Variant v) noexcept;
 std::optional<Variant> variant_from_string(const std::string& name);

@@ -34,6 +34,8 @@
 #include "core/persistent_bcast.hpp"
 #include "core/ring_plan.hpp"
 #include "core/transfer_analysis.hpp"
+#include "core/icoll.hpp"
+#include "mpisim/progress.hpp"
 #include "mpisim/thread_comm.hpp"
 #include "mpisim/world.hpp"
 #include "trace/counters.hpp"
@@ -61,6 +63,18 @@ core::BcastConfig selector_config(const FuzzCase& c) {
   cfg.mmsg_limit = c.mmsg_limit;
   cfg.use_tuned_ring = c.use_tuned_ring;
   return cfg;
+}
+
+/// Pattern seed for the case's oracle; initial garbage uses its complement
+/// so untouched bytes are always detected.
+std::uint64_t oracle_seed(const FuzzCase& c) noexcept {
+  return c.seed * 0x9e3779b97f4a7c15ULL + c.index * 0x100000001b3ULL + 1;
+}
+
+/// Distinct oracle seed for IbcastConcurrent's k-th companion broadcast
+/// (k in [1, kIbcastDepth)); the primary buffer keeps oracle_seed itself.
+std::uint64_t companion_seed(std::uint64_t ps, int k) noexcept {
+  return ps ^ (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(k));
 }
 
 }  // namespace
@@ -178,17 +192,58 @@ RankBody make_rank_body(const FuzzCase& c, Sabotage sabotage) {
                                             std::span<std::byte> buf) {
         coll::allgather_bruck_hier(comm, buf, buf.size() / comm.size(), cores);
       };
+    case Variant::IbcastConcurrent:
+      // kIbcastDepth broadcasts (staggered roots) in flight at once on the
+      // progress engine: the primary collective runs on `buf`, the
+      // companions on body-local buffers whose oracle is checked right
+      // here. Under the recorder there is no engine (and no data), so the
+      // same broadcasts run back to back — a nonblocking collective moves
+      // exactly its blocking counterpart's message multiset either way.
+      return [root, cfg = selector_config(c), ps = oracle_seed(c)](
+                 Comm& comm, std::span<std::byte> buf) {
+        const int P = comm.size();
+        std::vector<std::vector<std::byte>> side(
+            static_cast<std::size_t>(kIbcastDepth - 1));
+        for (std::size_t k = 0; k < side.size(); ++k) {
+          side[k].resize(buf.size());
+          const std::uint64_t cs = companion_seed(ps, static_cast<int>(k) + 1);
+          const int r = (root + static_cast<int>(k) + 1) % P;
+          fill_pattern(side[k], comm.rank() == r ? cs : ~cs);
+        }
+        auto* tc = dynamic_cast<mpisim::ThreadComm*>(&comm);
+        if (tc == nullptr) {
+          core::bcast(comm, buf, root, cfg);
+          for (std::size_t k = 0; k < side.size(); ++k) {
+            core::bcast(comm, side[k], (root + static_cast<int>(k) + 1) % P,
+                        cfg);
+          }
+          return;
+        }
+        std::vector<mpisim::CollRequest> reqs;
+        reqs.push_back(core::ibcast(*tc, buf, root, cfg));
+        for (std::size_t k = 0; k < side.size(); ++k) {
+          reqs.push_back(core::ibcast(*tc, side[k],
+                                      (root + static_cast<int>(k) + 1) % P,
+                                      cfg));
+        }
+        // A few nonblocking passes while everything is in flight, then
+        // complete out of start order (the lifetime rules allow both).
+        for (int pass = 0; pass < 3; ++pass) {
+          for (auto& r : reqs) (void)r.test();
+        }
+        mpisim::wait_all_coll(reqs);
+        for (std::size_t k = 0; k < side.size(); ++k) {
+          const std::uint64_t cs = companion_seed(ps, static_cast<int>(k) + 1);
+          const std::size_t bad = first_pattern_mismatch(side[k], cs);
+          BSB_REQUIRE(bad == side[k].size(),
+                      "ibcast companion oracle mismatch");
+        }
+      };
   }
   BSB_ASSERT(false, "make_rank_body: unknown variant");
 }
 
 namespace {
-
-/// Pattern seed for the case's oracle; initial garbage uses its complement
-/// so untouched bytes are always detected.
-std::uint64_t oracle_seed(const FuzzCase& c) noexcept {
-  return c.seed * 0x9e3779b97f4a7c15ULL + c.index * 0x100000001b3ULL + 1;
-}
 
 /// Pre-collective buffer contents for `rank`: the bytes the variant's
 /// contract says the rank contributes (at their home offsets), garbage
@@ -205,6 +260,7 @@ void fill_initial(const FuzzCase& c, int rank, std::span<std::byte> buf) {
     case Variant::BcastSmp:
     case Variant::BcastAuto:
     case Variant::BcastPersistent:
+    case Variant::IbcastConcurrent:  // companions are seeded in the body
       if (rank == c.root) fill_pattern(buf, ps);
       return;
     case Variant::AllgatherRingNative: {
@@ -371,20 +427,27 @@ std::string symbolic_check(const FuzzCase& c, const RankBody& body,
       }
       break;
     case Variant::BcastAuto:
-    case Variant::BcastPersistent: {
+    case Variant::BcastPersistent:
+    case Variant::IbcastConcurrent: {
+      // IbcastConcurrent runs kIbcastDepth independent broadcasts of the
+      // same shape; root stagger never changes the count.
+      const std::uint64_t mult =
+          c.variant == Variant::IbcastConcurrent
+              ? static_cast<std::uint64_t>(kIbcastDepth)
+              : 1;
       const core::BcastAlgorithm algo =
           core::choose_bcast_algorithm(c.nbytes, P, selector_config(c));
       if (algo == core::BcastAlgorithm::Binomial) {
         err += check_counts("auto(binomial) total msgs", sched.total_sends(),
-                            static_cast<std::uint64_t>(P - 1));
+                            mult * static_cast<std::uint64_t>(P - 1));
       } else if (algo == core::BcastAlgorithm::ScatterRingNative) {
         err += check_counts("auto(native-ring) total msgs", sched.total_sends(),
-                            core::scatter_transfers(P, c.nbytes) +
-                                core::native_ring_transfers(P));
+                            mult * (core::scatter_transfers(P, c.nbytes) +
+                                    core::native_ring_transfers(P)));
       } else if (algo == core::BcastAlgorithm::ScatterRingTuned) {
         err += check_counts("auto(tuned-ring) total msgs", sched.total_sends(),
-                            core::scatter_transfers(P, c.nbytes) +
-                                core::tuned_ring_transfers(P));
+                            mult * (core::scatter_transfers(P, c.nbytes) +
+                                    core::tuned_ring_transfers(P)));
       }
       break;
     }

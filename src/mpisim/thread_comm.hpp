@@ -12,6 +12,8 @@
 
 namespace bsb::mpisim {
 
+class ProgressEngine;
+
 /// Handle for a nonblocking operation. Copyable (shared state); wait() may
 /// be called once per logical completion; test() polls.
 ///
@@ -39,6 +41,7 @@ class Request {
 
  private:
   friend class ThreadComm;
+  friend class ProgressEngine;  // wait_for-based bounded blocking
   friend void wait_all(std::span<Request> requests);
 
   /// Wait until completion or `seconds` elapse; true iff complete.
@@ -86,6 +89,10 @@ class ThreadComm final : public Comm {
   Status probe(int source, int tag);
 
   World& world() noexcept { return *world_; }
+
+  /// This rank's nonblocking-collective progress engine (mpisim/progress.hpp).
+  /// Only the rank's own thread may use it.
+  ProgressEngine& progress_engine();
 
  private:
   friend class World;

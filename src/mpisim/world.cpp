@@ -6,6 +6,7 @@
 
 #include "bsbutil/error.hpp"
 #include "mpisim/errors.hpp"
+#include "mpisim/progress.hpp"
 #include "mpisim/thread_comm.hpp"
 
 namespace bsb::mpisim {
@@ -51,9 +52,12 @@ World::World(int nranks, WorldConfig cfg) : nranks_(nranks), cfg_(cfg) {
   BSB_REQUIRE(cfg.watchdog_seconds > 0, "World: watchdog must be positive");
   mailboxes_.reserve(nranks);
   comms_.reserve(nranks);
+  engines_.reserve(nranks);
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
     comms_.push_back(std::unique_ptr<ThreadComm>(new ThreadComm(*this, r)));
+    engines_.push_back(
+        std::unique_ptr<ProgressEngine>(new ProgressEngine(*comms_.back())));
   }
   stat_msgs_ = std::vector<std::atomic<std::uint64_t>>(
       static_cast<std::size_t>(nranks) * nranks);
@@ -66,6 +70,15 @@ World::~World() = default;
 ThreadComm& World::comm(int rank) {
   BSB_REQUIRE(rank >= 0 && rank < nranks_, "World: rank out of range");
   return *comms_[rank];
+}
+
+ProgressEngine& World::progress_engine(int rank) {
+  BSB_REQUIRE(rank >= 0 && rank < nranks_, "World: rank out of range");
+  return *engines_[rank];
+}
+
+ProgressEngine& ThreadComm::progress_engine() {
+  return world_->progress_engine(rank_);
 }
 
 void World::run(const std::function<void(ThreadComm&)>& body) {

@@ -29,6 +29,7 @@
 namespace bsb::mpisim {
 
 class ThreadComm;
+class ProgressEngine;
 
 /// Deterministic fault injection for adversarial correctness testing.
 ///
@@ -118,6 +119,10 @@ class World {
   /// uses its own endpoint).
   ThreadComm& comm(int rank);
 
+  /// The nonblocking-collective progress engine for `rank`. Created with
+  /// the world; only `rank`'s own thread may use it.
+  ProgressEngine& progress_engine(int rank);
+
   /// Spawn one thread per rank running `body`, join them all, and rethrow
   /// the first exception any rank raised.
   void run(const std::function<void(ThreadComm&)>& body);
@@ -142,6 +147,7 @@ class World {
   WorldConfig cfg_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<ThreadComm>> comms_;
+  std::vector<std::unique_ptr<ProgressEngine>> engines_;
 
   // central sense-reversing barrier
   std::mutex barrier_mu_;

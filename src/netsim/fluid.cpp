@@ -94,10 +94,20 @@ void FluidNetwork::recompute_rates() {
     BSB_ASSERT(!frozen.empty(), "FluidNetwork: progressive filling made no progress");
     for (int i : frozen) {
       Flow& f = flows_[i];
-      f.rate = std::min(s, f.cap);
+      // A flow frozen because its tightest resource's fair share is within
+      // kEps BELOW s must not be granted the full s — across many users
+      // those epsilons add up to real oversubscription. Bound the rate by
+      // the flow's live tightest-resource share; applied sequentially this
+      // guarantees sum(rates) <= capacity on every resource by
+      // construction (each user takes at most residual/users before being
+      // discounted). On exact bottlenecks the share equals s, so the
+      // allocation is unchanged.
+      double share = std::min(s, f.cap);
+      for (int r : f.resources) share = std::min(share, residual[r] / users[r]);
+      f.rate = std::max(share, 0.0);
       for (int r : f.resources) {
         residual[r] -= f.rate;
-        if (residual[r] < 0) residual[r] = 0;
+        if (residual[r] < 0) residual[r] = 0;  // fp dust only, by the bound
         --users[r];
       }
     }
@@ -123,6 +133,15 @@ double FluidNetwork::time_to_next_completion() const {
     t = std::min(t, f.remaining / f.rate);
   }
   return t;
+}
+
+std::vector<int> FluidNetwork::stalled_flows() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(flows_.size()); ++i) {
+    const Flow& f = flows_[i];
+    if (f.active && f.remaining > 0 && f.rate <= 0) out.push_back(i);
+  }
+  return out;
 }
 
 std::vector<int> FluidNetwork::completed_flows() const {

@@ -39,6 +39,12 @@ class FluidNetwork {
   /// Ids of flows whose remaining bytes have reached zero.
   std::vector<int> completed_flows() const;
 
+  /// Active flows with bytes left but rate <= 0: with no other event
+  /// pending these can never finish, and time_to_next_completion() returns
+  /// infinity. The replay engine turns that into a diagnostic instead of a
+  /// silent hang.
+  std::vector<int> stalled_flows() const;
+
   double rate_of(int id) const;
   double remaining_of(int id) const;
   int active_count() const noexcept { return active_; }

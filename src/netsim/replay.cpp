@@ -24,7 +24,7 @@ struct Event {
   double t;
   std::uint64_t seq;  // deterministic FIFO tie-break
   EventKind kind;
-  int id;  // rank (RankWake) or message (FlowStart)
+  int id;  // lane (RankWake) or message (FlowStart / CreditRelease)
 };
 
 struct EventLater {
@@ -36,6 +36,8 @@ struct EventLater {
 
 enum class Phase : std::uint8_t { Start, AfterBusy, Blocked };
 
+// One (job, local rank) actor. With a single job a lane IS a rank; with
+// many jobs a topology rank hosts one lane per job it participates in.
 struct RankSim {
   int pc = 0;
   Phase phase = Phase::Start;
@@ -52,6 +54,10 @@ struct MsgSim {
   double bytes = 0;
   bool inter = false;
   bool eager = true;
+  int gsrc = -1;       // topology rank of the sender
+  int gdst = -1;       // topology rank of the receiver
+  int lane_src = -1;   // sender lane (for wake-ups)
+  int lane_dst = -1;   // receiver lane
   double send_posted = -1;
   double recv_posted = -1;
   double delivered = -1;
@@ -70,37 +76,104 @@ struct BarrierGen {
   double release_time = 0;
 };
 
+// Per-job bookkeeping: where its lanes and messages live in the global
+// arrays, and its private barrier generations (a barrier only synchronizes
+// the ranks of its own communicator).
+struct JobCtx {
+  const trace::Schedule* sched = nullptr;
+  const trace::MatchResult* match = nullptr;
+  double arrival = 0;
+  std::vector<int> map;  // local -> topology rank; empty = identity
+  int lane_base = 0;
+  int msg_base = 0;
+  std::vector<BarrierGen> barriers;
+
+  int global_rank(int local) const {
+    return map.empty() ? local : map[local];
+  }
+};
+
 class Engine {
  public:
-  Engine(const trace::Schedule& sched, const trace::MatchResult& m,
-         const Topology& topo, const CostModel& cost)
-      : sched_(sched), match_(m), topo_(topo), cost_(cost),
-        fluid_(build_capacities(topo, cost)) {
+  Engine(std::span<const ReplayJob> jobs, const Topology& topo, const CostModel& cost)
+      : topo_(topo), cost_(cost), fluid_(build_capacities(topo, cost)) {
     cost.validate();
-    BSB_REQUIRE(topo.nranks() == sched.nranks,
-                "replay: topology size != schedule size");
-    ranks_.resize(sched.nranks);
-    cpu_busy_.resize(sched.nranks, 0.0);
-    op_complete_.resize(sched.nranks);
-    for (int r = 0; r < sched.nranks; ++r) {
-      op_complete_[r].resize(sched.ops[r].size(), 0.0);
+    BSB_REQUIRE(!jobs.empty(), "replay: no jobs to run");
+    jobs_.reserve(jobs.size());
+    int lane_base = 0;
+    int msg_base = 0;
+    for (const ReplayJob& job : jobs) {
+      BSB_REQUIRE(job.sched != nullptr && job.match != nullptr,
+                  "replay: job without schedule or match");
+      BSB_REQUIRE(job.arrival >= 0, "replay: job arrival before time zero");
+      const int p = job.sched->nranks;
+      if (job.rank_map.empty()) {
+        BSB_REQUIRE(topo.nranks() == p, "replay: topology size != schedule size");
+      } else {
+        BSB_REQUIRE(static_cast<int>(job.rank_map.size()) == p,
+                    "replay: rank_map size != schedule size");
+        std::vector<char> seen(static_cast<std::size_t>(topo.nranks()), 0);
+        for (int g : job.rank_map) {
+          BSB_REQUIRE(g >= 0 && g < topo.nranks(),
+                      "replay: rank_map entry outside the topology");
+          BSB_REQUIRE(!seen[static_cast<std::size_t>(g)],
+                      "replay: rank_map maps two ranks to one topology rank");
+          seen[static_cast<std::size_t>(g)] = 1;
+        }
+      }
+      JobCtx ctx;
+      ctx.sched = job.sched;
+      ctx.match = job.match;
+      ctx.arrival = job.arrival;
+      ctx.map = job.rank_map;
+      ctx.lane_base = lane_base;
+      ctx.msg_base = msg_base;
+      jobs_.push_back(std::move(ctx));
+      lane_base += p;
+      msg_base += static_cast<int>(job.match->msgs.size());
     }
-    msgs_.resize(m.msgs.size());
-    for (std::size_t i = 0; i < m.msgs.size(); ++i) {
-      const trace::MatchedMsg& mm = m.msgs[i];
-      msgs_[i].bytes = static_cast<double>(mm.bytes);
-      msgs_[i].inter = !topo.same_node(mm.src, mm.dst);
-      msgs_[i].eager = mm.bytes <= cost.eager_threshold;
+
+    ranks_.resize(static_cast<std::size_t>(lane_base));
+    cpu_busy_.resize(static_cast<std::size_t>(lane_base), 0.0);
+    op_complete_.resize(static_cast<std::size_t>(lane_base));
+    lane_job_.resize(static_cast<std::size_t>(lane_base));
+    lane_local_.resize(static_cast<std::size_t>(lane_base));
+    msgs_.resize(static_cast<std::size_t>(msg_base));
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const JobCtx& ctx = jobs_[j];
+      for (int r = 0; r < ctx.sched->nranks; ++r) {
+        const std::size_t lane = static_cast<std::size_t>(ctx.lane_base + r);
+        lane_job_[lane] = static_cast<int>(j);
+        lane_local_[lane] = r;
+        op_complete_[lane].resize(ctx.sched->ops[r].size(), 0.0);
+        ranks_[lane].ready_at = ctx.arrival;
+      }
+      for (std::size_t i = 0; i < ctx.match->msgs.size(); ++i) {
+        const trace::MatchedMsg& mm = ctx.match->msgs[i];
+        MsgSim& ms = msgs_[static_cast<std::size_t>(ctx.msg_base) + i];
+        ms.bytes = static_cast<double>(mm.bytes);
+        ms.gsrc = ctx.global_rank(mm.src);
+        ms.gdst = ctx.global_rank(mm.dst);
+        ms.lane_src = ctx.lane_base + mm.src;
+        ms.lane_dst = ctx.lane_base + mm.dst;
+        ms.inter = !topo.same_node(ms.gsrc, ms.gdst);
+        ms.eager = mm.bytes <= cost.eager_threshold;
+      }
     }
   }
 
-  ReplayResult run() {
-    for (int r = 0; r < sched_.nranks; ++r) push_event(0.0, EventKind::RankWake, r);
+  void run() {
+    for (const JobCtx& ctx : jobs_) {
+      for (int r = 0; r < ctx.sched->nranks; ++r) {
+        push_event(ctx.arrival, EventKind::RankWake, ctx.lane_base + r);
+      }
+    }
 
     // Defensive livelock guard: a healthy replay processes a small constant
     // number of events per op/message; far beyond that means engine bug.
-    const std::uint64_t iter_cap =
-        1000 * (sched_.total_ops() + msgs_.size()) + 100000;
+    std::uint64_t total_ops = 0;
+    for (const JobCtx& ctx : jobs_) total_ops += ctx.sched->total_ops();
+    const std::uint64_t iter_cap = 1000 * (total_ops + msgs_.size()) + 100000;
     std::uint64_t iter = 0;
 
     while (true) {
@@ -114,7 +187,14 @@ class Engine {
       const double t_event = events_.empty() ? kInf : events_.top().t;
       double t_flow =
           fluid_.active_count() ? now_ + fluid_.time_to_next_completion() : kInf;
-      if (t_event == kInf && t_flow == kInf) break;
+      if (t_event == kInf && t_flow == kInf) {
+        // No event pending and no flow can ever finish. If transfers are
+        // still in flight the simulation has stalled (all rates pinned at
+        // zero) — without this check the loop would exit silently and the
+        // failure would surface as an unrelated-looking deadlock report.
+        if (fluid_.active_count() > 0) throw SimError(describe_stall());
+        break;
+      }
 
       // Floating-point guard: when the next completion is closer than one
       // ulp of `now_`, "now_ + ttc == now_" and time would stop advancing.
@@ -149,14 +229,21 @@ class Engine {
       }
     }
 
+    for (const RankSim& rs : ranks_) {
+      if (!rs.done) throw SimError(diagnose_deadlock());
+    }
+  }
+
+  ReplayResult single_result() {
+    BSB_ASSERT(jobs_.size() == 1, "replay: single_result on a multi-job engine");
     ReplayResult result;
-    result.rank_finish.resize(sched_.nranks);
-    for (int r = 0; r < sched_.nranks; ++r) {
-      if (!ranks_[r].done) {
-        throw SimError(diagnose_deadlock());
-      }
-      result.rank_finish[r] = ranks_[r].finish;
-      result.makespan = std::max(result.makespan, ranks_[r].finish);
+    const int p = jobs_[0].sched->nranks;
+    result.rank_finish.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      result.rank_finish[static_cast<std::size_t>(r)] =
+          ranks_[static_cast<std::size_t>(r)].finish;
+      result.makespan =
+          std::max(result.makespan, ranks_[static_cast<std::size_t>(r)].finish);
     }
     result.op_complete = std::move(op_complete_);
     result.cpu_busy = std::move(cpu_busy_);
@@ -167,15 +254,36 @@ class Engine {
     return result;
   }
 
+  ConcurrentReplayResult concurrent_result() const {
+    ConcurrentReplayResult result;
+    result.job_finish.resize(jobs_.size(), 0.0);
+    result.job_latency.resize(jobs_.size(), 0.0);
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const JobCtx& ctx = jobs_[j];
+      double finish = ctx.arrival;
+      for (int r = 0; r < ctx.sched->nranks; ++r) {
+        finish = std::max(finish, ranks_[static_cast<std::size_t>(ctx.lane_base + r)].finish);
+      }
+      result.job_finish[j] = finish;
+      result.job_latency[j] = finish - ctx.arrival;
+      result.makespan = std::max(result.makespan, finish);
+    }
+    result.messages = msgs_.size();
+    result.flows_started = flows_started_;
+    result.rate_recomputes = rate_recomputes_;
+    return result;
+  }
+
  private:
   // ------------------------------------------------------------ resources
   // Resource layout: [0, N) membus per node; [N, 2N) NIC-out; [2N, 3N)
-  // NIC-in; optionally 3N = global fabric.
+  // NIC-in; optionally 3N = global fabric. Indexed by TOPOLOGY node, so
+  // concurrent jobs mapped onto overlapping ranks share the same wires.
   static std::vector<double> build_capacities(const Topology& topo,
                                               const CostModel& cost) {
     const int n = topo.num_nodes();
     std::vector<double> caps;
-    caps.reserve(3 * n + 1);
+    caps.reserve(static_cast<std::size_t>(3 * n + 1));
     for (int i = 0; i < n; ++i) caps.push_back(cost.bw_membus);
     for (int i = 0; i < n; ++i) caps.push_back(cost.bw_nic);
     for (int i = 0; i < n; ++i) caps.push_back(cost.bw_nic);
@@ -184,10 +292,10 @@ class Engine {
   }
 
   std::vector<int> flow_resources(int msg_id) const {
-    const trace::MatchedMsg& mm = match_.msgs[msg_id];
+    const MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     const int n = topo_.num_nodes();
-    const int sn = topo_.node_of(mm.src);
-    const int dn = topo_.node_of(mm.dst);
+    const int sn = topo_.node_of(ms.gsrc);
+    const int dn = topo_.node_of(ms.gdst);
     if (sn == dn) return {sn};
     std::vector<int> res{n + sn, 2 * n + dn};
     if (cost_.bw_fabric > 0) res.push_back(3 * n);
@@ -209,7 +317,7 @@ class Engine {
 
   // ---------------------------------------------------------------- flows
   void start_flow(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.delivered >= 0 || ms.flow_id >= 0) return;  // already running/done
     if (ms.bytes <= 0) {
       deliver(msg_id, now_ + cost_.alpha(ms.inter));
@@ -230,7 +338,7 @@ class Engine {
       const int msg_id = flow_msg_.at(fid);
       fluid_.remove_flow(fid);
       flow_msg_.erase(fid);
-      MsgSim& ms = msgs_[msg_id];
+      MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
       ms.flow_id = -2;
       deliver(msg_id, now_ + cost_.alpha(ms.inter));
     }
@@ -241,17 +349,17 @@ class Engine {
   }
 
   void deliver(int msg_id, double when) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     ms.delivered = when;
     if (ms.eager) maybe_finalize_eager_recv(msg_id);
     // Wake both endpoints; progress_rank ignores wakes it has outgrown.
-    push_event(when, EventKind::RankWake, match_.msgs[msg_id].src);
-    push_event(when, EventKind::RankWake, match_.msgs[msg_id].dst);
+    push_event(when, EventKind::RankWake, ms.lane_src);
+    push_event(when, EventKind::RankWake, ms.lane_dst);
   }
 
   // ------------------------------------------------------------- messages
   void post_send(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     BSB_ASSERT(ms.send_posted < 0, "replay: send half posted twice");
     ms.send_posted = now_;
     if (ms.eager) {
@@ -270,7 +378,7 @@ class Engine {
   }
 
   void post_recv(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     BSB_ASSERT(ms.recv_posted < 0, "replay: recv half posted twice");
     ms.recv_posted = now_;
     if (!ms.eager) {
@@ -283,11 +391,11 @@ class Engine {
   /// Once an eager message's delivery AND its receive post are both known,
   /// fix its consumption time and schedule the flow-control credit release.
   void maybe_finalize_eager_recv(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.recv_complete >= 0 || ms.delivered < 0 || ms.recv_posted < 0) return;
     ms.recv_complete =
         std::max(ms.delivered, ms.recv_posted) + ms.bytes / cost_.copy_bw;
-    cpu_busy_[match_.msgs[msg_id].dst] += ms.bytes / cost_.copy_bw;
+    cpu_busy_[static_cast<std::size_t>(ms.lane_dst)] += ms.bytes / cost_.copy_bw;
     if (cost_.eager_credits > 0) {
       push_event(ms.recv_complete, EventKind::CreditRelease, msg_id);
     }
@@ -296,9 +404,10 @@ class Engine {
   // --------------------------------------------------- eager flow control
   /// True when the send may proceed. Otherwise the message is queued on
   /// its channel and the sender stays parked until a CreditRelease grants
-  /// it a credit and wakes it.
+  /// it a credit and wakes it. Channels are keyed by TOPOLOGY (src, dst),
+  /// so concurrent jobs drawing on the same wire share one credit budget.
   bool try_acquire_credit(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (!ms.eager || cost_.eager_credits <= 0) return true;
     if (ms.credit_granted) return true;
     const auto key = channel_of(msg_id);
@@ -316,7 +425,7 @@ class Engine {
   }
 
   void release_credit(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.credit_released) return;
     ms.credit_released = true;
     const auto key = channel_of(msg_id);
@@ -325,20 +434,22 @@ class Engine {
       // Hand the credit straight to the oldest parked send (FIFO).
       const int next = waiters.front();
       waiters.pop_front();
-      msgs_[next].credit_waiting = false;
-      msgs_[next].credit_granted = true;
-      push_event(now_, EventKind::RankWake, match_.msgs[next].src);
+      msgs_[static_cast<std::size_t>(next)].credit_waiting = false;
+      msgs_[static_cast<std::size_t>(next)].credit_granted = true;
+      push_event(now_, EventKind::RankWake,
+                 msgs_[static_cast<std::size_t>(next)].lane_src);
     } else {
       --credits_outstanding_[key];
     }
   }
 
   std::pair<int, int> channel_of(int msg_id) const {
-    return {match_.msgs[msg_id].src, match_.msgs[msg_id].dst};
+    const MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
+    return {ms.gsrc, ms.gdst};
   }
 
   void maybe_schedule_rendezvous(int msg_id) {
-    MsgSim& ms = msgs_[msg_id];
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.flow_scheduled || ms.send_posted < 0 || ms.recv_posted < 0) return;
     // RTS + CTS handshake after both sides are ready.
     const double start =
@@ -348,15 +459,15 @@ class Engine {
   }
 
   bool send_half_done(int msg_id) const {
-    const MsgSim& ms = msgs_[msg_id];
+    const MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.eager) return true;  // sender freed at post
     return ms.delivered >= 0 && now_ + kTimeEps >= ms.delivered;
   }
 
   /// Completion time of the receive half, or +inf if not determined yet.
   /// Pushes a wake when the completion lies in the future.
-  bool recv_half_done(int msg_id, int rank) {
-    MsgSim& ms = msgs_[msg_id];
+  bool recv_half_done(int msg_id, int lane) {
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.delivered < 0) return false;  // deliver() will wake us
     if (ms.recv_complete < 0) {
       // Eager completion (delivery copy-out) is fixed by
@@ -365,31 +476,33 @@ class Engine {
       ms.recv_complete = std::max(ms.delivered, ms.recv_posted);
     }
     if (now_ + kTimeEps >= ms.recv_complete) return true;
-    push_event(ms.recv_complete, EventKind::RankWake, rank);
+    push_event(ms.recv_complete, EventKind::RankWake, lane);
     return false;
   }
 
   // -------------------------------------------------------------- barrier
-  void barrier_arrive(int generation) {
-    if (static_cast<int>(barriers_.size()) <= generation) {
-      barriers_.resize(generation + 1);
+  void barrier_arrive(int job, int generation) {
+    JobCtx& ctx = jobs_[static_cast<std::size_t>(job)];
+    if (static_cast<int>(ctx.barriers.size()) <= generation) {
+      ctx.barriers.resize(static_cast<std::size_t>(generation) + 1);
     }
-    BarrierGen& g = barriers_[generation];
+    BarrierGen& g = ctx.barriers[static_cast<std::size_t>(generation)];
     ++g.arrived;
     g.last_arrival = std::max(g.last_arrival, now_);
-    BSB_ASSERT(g.arrived <= sched_.nranks, "replay: too many barrier arrivals");
-    if (g.arrived == sched_.nranks) {
+    BSB_ASSERT(g.arrived <= ctx.sched->nranks, "replay: too many barrier arrivals");
+    if (g.arrived == ctx.sched->nranks) {
       g.released = true;
       g.release_time = g.last_arrival + cost_.barrier_cost;
-      for (int r = 0; r < sched_.nranks; ++r) {
-        push_event(g.release_time, EventKind::RankWake, r);
+      for (int r = 0; r < ctx.sched->nranks; ++r) {
+        push_event(g.release_time, EventKind::RankWake, ctx.lane_base + r);
       }
     }
   }
 
-  bool barrier_done(int generation) const {
-    if (static_cast<int>(barriers_.size()) <= generation) return false;
-    const BarrierGen& g = barriers_[generation];
+  bool barrier_done(int job, int generation) const {
+    const JobCtx& ctx = jobs_[static_cast<std::size_t>(job)];
+    if (static_cast<int>(ctx.barriers.size()) <= generation) return false;
+    const BarrierGen& g = ctx.barriers[static_cast<std::size_t>(generation)];
     return g.released && now_ + kTimeEps >= g.release_time;
   }
 
@@ -397,7 +510,7 @@ class Engine {
 
   /// Sender-side CPU time of an eager injection copy (LogGP's G * bytes).
   double eager_inject_cost(int send_msg) const {
-    const MsgSim& ms = msgs_[send_msg];
+    const MsgSim& ms = msgs_[static_cast<std::size_t>(send_msg)];
     return ms.eager ? ms.bytes / cost_.copy_bw : 0.0;
   }
 
@@ -415,29 +528,34 @@ class Engine {
     return 0;
   }
 
-  void progress_rank(int r) {
-    RankSim& rs = ranks_[r];
+  void progress_rank(int lane) {
+    RankSim& rs = ranks_[static_cast<std::size_t>(lane)];
     if (rs.done) return;
     if (now_ + kTimeEps < rs.ready_at) return;  // premature wake; real one queued
 
-    const auto& oplist = sched_.ops[r];
+    const int job = lane_job_[static_cast<std::size_t>(lane)];
+    const int local = lane_local_[static_cast<std::size_t>(lane)];
+    const JobCtx& ctx = jobs_[static_cast<std::size_t>(job)];
+    const auto& oplist = ctx.sched->ops[local];
     while (true) {
       if (rs.pc == static_cast<int>(oplist.size())) {
         rs.done = true;
         rs.finish = now_;
         return;
       }
-      const trace::Op& op = oplist[rs.pc];
-      const int send_msg = match_.send_msg_of[r][rs.pc];
-      const int recv_msg = match_.recv_msg_of[r][rs.pc];
+      const trace::Op& op = oplist[static_cast<std::size_t>(rs.pc)];
+      int send_msg = ctx.match->send_msg_of[local][static_cast<std::size_t>(rs.pc)];
+      int recv_msg = ctx.match->recv_msg_of[local][static_cast<std::size_t>(rs.pc)];
+      if (send_msg >= 0) send_msg += ctx.msg_base;
+      if (recv_msg >= 0) recv_msg += ctx.msg_base;
 
       if (rs.phase == Phase::Start) {
         const double busy = busy_time(op, send_msg);
-        cpu_busy_[r] += busy;
+        cpu_busy_[static_cast<std::size_t>(lane)] += busy;
         rs.phase = Phase::AfterBusy;
         if (busy > 0) {
           rs.ready_at = now_ + busy;
-          push_event(rs.ready_at, EventKind::RankWake, r);
+          push_event(rs.ready_at, EventKind::RankWake, lane);
           return;
         }
       }
@@ -454,7 +572,7 @@ class Engine {
           post_send(send_msg);
           rs.cur_send_posted = true;
         }
-        if (op.kind == trace::OpKind::Barrier) barrier_arrive(rs.barriers_passed);
+        if (op.kind == trace::OpKind::Barrier) barrier_arrive(job, rs.barriers_passed);
         rs.phase = Phase::Blocked;
       }
 
@@ -465,21 +583,22 @@ class Engine {
           complete = send_half_done(send_msg);
           break;
         case trace::OpKind::Recv:
-          complete = recv_half_done(recv_msg, r);
+          complete = recv_half_done(recv_msg, lane);
           break;
         case trace::OpKind::SendRecv:
           // Evaluate both so wake-ups get scheduled for each half.
-          complete = recv_half_done(recv_msg, r);
+          complete = recv_half_done(recv_msg, lane);
           complete = send_half_done(send_msg) && complete;
           break;
         case trace::OpKind::Barrier:
-          complete = barrier_done(rs.barriers_passed);
+          complete = barrier_done(job, rs.barriers_passed);
           break;
       }
       if (!complete) return;  // a deliver()/wake will resume us
 
       if (op.kind == trace::OpKind::Barrier) ++rs.barriers_passed;
-      op_complete_[r][rs.pc] = now_;
+      op_complete_[static_cast<std::size_t>(lane)][static_cast<std::size_t>(rs.pc)] =
+          now_;
       ++rs.pc;
       rs.phase = Phase::Start;
       rs.cur_send_posted = false;
@@ -490,33 +609,53 @@ class Engine {
 
   std::string diagnose_deadlock() const {
     std::string s = "replay: schedule did not run to completion;";
-    for (int r = 0; r < sched_.nranks; ++r) {
-      if (ranks_[r].done) continue;
-      const auto& oplist = sched_.ops[r];
-      s += " rank " + std::to_string(r) + " at op " + std::to_string(ranks_[r].pc);
-      if (ranks_[r].pc < static_cast<int>(oplist.size())) {
-        s += " (" + std::string(trace::to_string(oplist[ranks_[r].pc].kind)) + ")";
+    for (std::size_t lane = 0; lane < ranks_.size(); ++lane) {
+      if (ranks_[lane].done) continue;
+      const int job = lane_job_[lane];
+      const int local = lane_local_[lane];
+      const auto& oplist = jobs_[static_cast<std::size_t>(job)].sched->ops[local];
+      if (jobs_.size() > 1) s += " job " + std::to_string(job);
+      s += " rank " + std::to_string(local) + " at op " +
+           std::to_string(ranks_[lane].pc);
+      if (ranks_[lane].pc < static_cast<int>(oplist.size())) {
+        s += " (" +
+             std::string(trace::to_string(
+                 oplist[static_cast<std::size_t>(ranks_[lane].pc)].kind)) +
+             ")";
       }
       s += ";";
     }
     return s;
   }
 
-  const trace::Schedule& sched_;
-  const trace::MatchResult& match_;
+  std::string describe_stall() const {
+    std::string s = "replay: all in-flight transfers stalled at zero rate at t=" +
+                    std::to_string(now_) + ";";
+    for (int fid : fluid_.stalled_flows()) {
+      const int msg_id = flow_msg_.at(fid);
+      const MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
+      s += " flow " + std::to_string(fid) + " (msg " + std::to_string(msg_id) +
+           ", " + std::to_string(ms.gsrc) + "->" + std::to_string(ms.gdst) +
+           ", " + std::to_string(fluid_.remaining_of(fid)) + " bytes left);";
+    }
+    return s;
+  }
+
   const Topology& topo_;
   const CostModel& cost_;
   FluidNetwork fluid_;
 
+  std::vector<JobCtx> jobs_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::uint64_t seq_ = 0;
   double now_ = 0;
 
   std::vector<RankSim> ranks_;
+  std::vector<int> lane_job_;
+  std::vector<int> lane_local_;
   std::vector<double> cpu_busy_;
   std::vector<std::vector<double>> op_complete_;
   std::vector<MsgSim> msgs_;
-  std::vector<BarrierGen> barriers_;
   std::unordered_map<int, int> flow_msg_;
   std::map<std::pair<int, int>, int> credits_outstanding_;
   std::map<std::pair<int, int>, std::deque<int>> credit_waiters_;
@@ -529,8 +668,17 @@ class Engine {
 
 ReplayResult replay_schedule(const trace::Schedule& sched, const trace::MatchResult& m,
                              const Topology& topo, const CostModel& cost) {
-  Engine engine(sched, m, topo, cost);
-  return engine.run();
+  const ReplayJob job{&sched, &m, 0.0, {}};
+  Engine engine(std::span<const ReplayJob>(&job, 1), topo, cost);
+  engine.run();
+  return engine.single_result();
+}
+
+ConcurrentReplayResult replay_concurrent(std::span<const ReplayJob> jobs,
+                                         const Topology& topo, const CostModel& cost) {
+  Engine engine(jobs, topo, cost);
+  engine.run();
+  return engine.concurrent_result();
 }
 
 }  // namespace bsb::netsim

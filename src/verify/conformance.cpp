@@ -218,8 +218,10 @@ bool dataflow_checkable(Variant v) noexcept {
   // its offsets are foreign to the collective's buffer and cannot be
   // dataflow-validated symbolically. The reduction family moves partial
   // sums, not byte copies — validate_reduce_flow covers those instead.
+  // IbcastConcurrent's companion broadcasts run on body-local buffers, so
+  // two thirds of its recorded offsets are foreign as well.
   return v != Variant::AllgatherBruck && v != Variant::AllgatherBruckHier &&
-         !fuzz::is_reduce_family(v);
+         v != Variant::IbcastConcurrent && !fuzz::is_reduce_family(v);
 }
 
 bool reduction_checkable(Variant v) noexcept {
@@ -380,6 +382,16 @@ TransferExpectation expected_transfers(const FuzzCase& c) {
     case Variant::AllgatherBruckHier:
       e.total_sends = core::bruck_hier_transfers(P, c.smp_cores_per_node);
       return e;  // scratch rotation: redundancy not statically checkable
+    case Variant::IbcastConcurrent: {
+      // kIbcastDepth same-shape broadcasts in flight (the root stagger
+      // never changes a count); the companions live in body-local buffers,
+      // so redundancy is not statically checkable here.
+      const TransferExpectation one = bcast_algorithm_expectation(
+          core::choose_bcast_algorithm(c.nbytes, P, selector_config(c)), c);
+      e.total_sends =
+          *one.total_sends * static_cast<std::uint64_t>(fuzz::kIbcastDepth);
+      return e;
+    }
   }
   BSB_ASSERT(false, "expected_transfers: unknown variant");
 }
@@ -396,6 +408,9 @@ std::vector<IntervalSet> initial_coverage(const FuzzCase& c) {
     case Variant::BcastSmp:
     case Variant::BcastAuto:
     case Variant::BcastPersistent:
+    case Variant::IbcastConcurrent:
+      // For IbcastConcurrent this states the PRIMARY buffer's contract;
+      // dataflow is skipped anyway (foreign companion offsets).
       init[static_cast<std::size_t>(c.root)].insert({0, c.nbytes});
       return init;
     case Variant::AllgatherRingNative: {

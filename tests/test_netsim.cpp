@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "bsbutil/rng.hpp"
 #include "coll/bcast_binomial.hpp"
@@ -167,6 +168,76 @@ TEST(Fluid, RandomizedMaxMinProperties) {
                              << " is neither capped nor bottlenecked";
     }
   }
+}
+
+TEST(Fluid, RandomizedConservationNeverOversubscribes) {
+  // Regression fuzz for the epsilon-freeze oversubscription bug: flows
+  // whose tightest-resource share sat within kEps of the round's fill
+  // level used to be granted the full level, and across many such flows
+  // the epsilons added up to more than the capacity (the residual clamp
+  // then silently hid the deficit). Private caps are drawn CLUSTERED
+  // within ~1e-10 of each other so the freeze test's epsilon band is
+  // exercised constantly; the conservation bound must hold to fp dust,
+  // not to some lenient engineering tolerance.
+  SplitMix64 rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int nres = 1 + static_cast<int>(rng.next_below(4));
+    std::vector<double> caps;
+    for (int i = 0; i < nres; ++i) {
+      caps.push_back(1.0 + static_cast<double>(rng.next_below(50)));
+    }
+    FluidNetwork net(caps);
+    const int nflows = 2 + static_cast<int>(rng.next_below(40));
+    const double base_cap =
+        0.25 + static_cast<double>(rng.next_below(20)) * 0.125;
+    struct FlowRef {
+      int id;
+      std::vector<int> res;
+    };
+    std::vector<FlowRef> flows;
+    for (int f = 0; f < nflows; ++f) {
+      std::vector<int> res;
+      for (int r = 0; r < nres; ++r) {
+        if (rng.next_below(2)) res.push_back(r);
+      }
+      // Nudge each cap by a sub-kEps amount around the shared base value.
+      const double cap =
+          base_cap * (1.0 + static_cast<double>(rng.next_below(200)) * 1e-12);
+      flows.push_back({net.add_flow(1e6, res, cap), res});
+    }
+    net.recompute_rates();
+
+    std::vector<double> load(static_cast<std::size_t>(nres), 0.0);
+    for (const FlowRef& f : flows) {
+      const double rate = net.rate_of(f.id);
+      ASSERT_GT(rate, 0.0) << "trial " << trial;
+      for (int r : f.res) load[static_cast<std::size_t>(r)] += rate;
+    }
+    for (int r = 0; r < nres; ++r) {
+      ASSERT_LE(load[static_cast<std::size_t>(r)],
+                caps[static_cast<std::size_t>(r)] * (1 + 1e-12) + 1e-12)
+          << "trial " << trial << " resource " << r << " oversubscribed by "
+          << load[static_cast<std::size_t>(r)] - caps[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+TEST(Fluid, StalledFlowsListsZeroRateTransfers) {
+  FluidNetwork net({10.0});
+  const int a = net.add_flow(20.0, {0}, 100.0);
+  // Rates are stale (zero) until recompute: the flow can never finish and
+  // time_to_next_completion is infinite — exactly the state the replay
+  // engine's stall detector reports.
+  EXPECT_EQ(net.time_to_next_completion(),
+            std::numeric_limits<double>::infinity());
+  const auto stalled = net.stalled_flows();
+  ASSERT_EQ(stalled.size(), 1u);
+  EXPECT_EQ(stalled[0], a);
+  net.recompute_rates();
+  EXPECT_TRUE(net.stalled_flows().empty());
+  net.advance(2.0);  // drains completely at rate 10
+  EXPECT_TRUE(net.stalled_flows().empty());  // complete, not stalled
+  ASSERT_EQ(net.completed_flows().size(), 1u);
 }
 
 TEST(Fluid, RejectsBadArguments) {
@@ -684,6 +755,148 @@ TEST(Replay, MoreRanksPerNodeMeansMoreMembusContention) {
   const auto spread =
       replay_schedule(sched, m, Topology(P, 8, Placement::Block), cost);
   EXPECT_GT(packed.makespan, spread.makespan * 0.9);
+}
+
+// ---------------------------------------------------- replay: concurrent
+
+TEST(ReplayConcurrent, SingleJobMatchesReplaySchedule) {
+  const auto sched = trace::record_schedule(
+      10, 50000, [](Comm& comm, std::span<std::byte> buffer) {
+        coll::bcast_scatter_ring_native(comm, buffer, 0);
+      });
+  const auto m = trace::match_schedule(sched);
+  const Topology topo = Topology::hornet(10);
+  const CostModel cost = CostModel::hornet();
+  const auto solo = replay_schedule(sched, m, topo, cost);
+  const std::vector<ReplayJob> jobs{{&sched, &m, 0.0, {}}};
+  const auto conc = replay_concurrent(jobs, topo, cost);
+  ASSERT_EQ(conc.job_finish.size(), 1u);
+  EXPECT_EQ(conc.job_finish[0], solo.makespan);
+  EXPECT_EQ(conc.job_latency[0], solo.makespan);
+  EXPECT_EQ(conc.makespan, solo.makespan);
+  EXPECT_EQ(conc.messages, solo.messages);
+  EXPECT_EQ(conc.flows_started, solo.flows_started);
+}
+
+TEST(ReplayConcurrent, StaggeredArrivalShiftsButDoesNotStretch) {
+  // A job arriving long after the first finished sees an idle network: its
+  // completion LATENCY equals the solo latency, only its finish shifts.
+  const auto sched = two_rank_send(100000);  // rendezvous
+  const auto m = trace::match_schedule(sched);
+  const Topology topo(4, 2, Placement::Block);  // ranks {0,1} node0, {2,3} node1
+  const CostModel cost = unit_cost();
+  const std::vector<ReplayJob> solo{{&sched, &m, 0.0, {0, 2}}};
+  const auto alone = replay_concurrent(solo, topo, cost);
+  const std::vector<ReplayJob> jobs{
+      {&sched, &m, 0.0, {0, 2}},
+      {&sched, &m, 1.0, {1, 3}},  // arrives after job 0 is long done
+  };
+  const auto res = replay_concurrent(jobs, topo, cost);
+  ASSERT_EQ(res.job_finish.size(), 2u);
+  expect_close(res.job_latency[0], alone.job_latency[0]);
+  expect_close(res.job_latency[1], alone.job_latency[0]);
+  expect_close(res.job_finish[1], 1.0 + alone.job_latency[0]);
+}
+
+TEST(ReplayConcurrent, SharedNicContentionStretchesLatency) {
+  // Two rendezvous transfers crossing the SAME node pair at the same time
+  // share the NIC and each runs at half rate; the closed form doubles the
+  // wire time relative to a solo run.
+  const std::uint64_t B = 1000000;
+  const auto sched = two_rank_send(B);
+  const auto m = trace::match_schedule(sched);
+  const Topology topo(4, 2, Placement::Block);
+  const CostModel cost = unit_cost();
+  const std::vector<ReplayJob> jobs{
+      {&sched, &m, 0.0, {0, 2}},
+      {&sched, &m, 0.0, {1, 3}},
+  };
+  const auto res = replay_concurrent(jobs, topo, cost);
+  const double start = std::max(cost.o_send, cost.o_recv) + 2 * cost.alpha_inter;
+  const double contended =
+      start + static_cast<double>(B) / 0.5e9 + cost.alpha_inter;
+  expect_close(res.job_latency[0], contended);
+  expect_close(res.job_latency[1], contended);
+  // And the solo run at full NIC rate really is ~2x faster on the wire.
+  const std::vector<ReplayJob> solo{{&sched, &m, 0.0, {0, 2}}};
+  const auto alone = replay_concurrent(solo, topo, cost);
+  EXPECT_GT(res.job_latency[0], alone.job_latency[0] * 1.5);
+}
+
+TEST(ReplayConcurrent, OverlappingRankSetsRunToCompletion) {
+  // Two collectives over the SAME topology ranks (one communicator per
+  // job, progress-thread model): both must complete, and bytes still drain
+  // through the shared per-node resources.
+  const int P = 8;
+  const auto sched = trace::record_schedule(
+      P, 200000, [](Comm& comm, std::span<std::byte> buffer) {
+        core::bcast_scatter_ring_tuned(comm, buffer, 0);
+      });
+  const auto m = trace::match_schedule(sched);
+  const Topology topo(P, 4, Placement::Block);
+  const CostModel cost = CostModel::hornet();
+  std::vector<int> identity;
+  for (int r = 0; r < P; ++r) identity.push_back(r);
+  const std::vector<ReplayJob> jobs{
+      {&sched, &m, 0.0, identity},
+      {&sched, &m, 0.0, identity},
+      {&sched, &m, 5e-5, identity},
+  };
+  const auto res = replay_concurrent(jobs, topo, cost);
+  ASSERT_EQ(res.job_finish.size(), 3u);
+  for (double lat : res.job_latency) EXPECT_GT(lat, 0.0);
+  EXPECT_EQ(res.messages, 3 * m.msgs.size());
+  const std::vector<ReplayJob> solo{{&sched, &m, 0.0, identity}};
+  const auto alone = replay_concurrent(solo, topo, cost);
+  // Contention can only hurt.
+  for (double lat : res.job_latency) {
+    EXPECT_GE(lat, alone.job_latency[0] * 0.999);
+  }
+}
+
+TEST(ReplayConcurrent, DeterministicAcrossRuns) {
+  const auto big = trace::record_schedule(
+      8, 100000, [](Comm& comm, std::span<std::byte> buffer) {
+        core::bcast_scatter_ring_tuned(comm, buffer, 0);
+      });
+  const auto small = trace::record_schedule(
+      8, 100000, [](Comm& comm, std::span<std::byte> buffer) {
+        coll::bcast_scatter_ring_native(comm, buffer, 0);
+      });
+  const auto mb = trace::match_schedule(big);
+  const auto ms = trace::match_schedule(small);
+  const Topology topo(16, 8, Placement::Block);
+  const CostModel cost = CostModel::hornet();
+  std::vector<ReplayJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<int> map;
+    for (int r = 0; r < 8; ++r) map.push_back((r + i) % 16);
+    jobs.push_back({i % 2 ? &big : &small, i % 2 ? &mb : &ms,
+                    static_cast<double>(i) * 3e-5, map});
+  }
+  const auto a = replay_concurrent(jobs, topo, cost);
+  const auto b = replay_concurrent(jobs, topo, cost);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.job_finish, b.job_finish);
+  EXPECT_EQ(a.job_latency, b.job_latency);
+  EXPECT_EQ(a.rate_recomputes, b.rate_recomputes);
+}
+
+TEST(ReplayConcurrent, RejectsBadJobs) {
+  const auto sched = two_rank_send(800);
+  const auto m = trace::match_schedule(sched);
+  const Topology topo(4, 2, Placement::Block);
+  const CostModel cost = unit_cost();
+  auto run = [&](std::vector<ReplayJob> jobs) {
+    return replay_concurrent(jobs, topo, cost);
+  };
+  EXPECT_THROW(run({}), PreconditionError);
+  EXPECT_THROW(run({{nullptr, &m, 0.0, {0, 1}}}), PreconditionError);
+  EXPECT_THROW(run({{&sched, &m, -1.0, {0, 1}}}), PreconditionError);
+  EXPECT_THROW(run({{&sched, &m, 0.0, {0}}}), PreconditionError);        // size
+  EXPECT_THROW(run({{&sched, &m, 0.0, {0, 4}}}), PreconditionError);     // range
+  EXPECT_THROW(run({{&sched, &m, 0.0, {2, 2}}}), PreconditionError);     // dup
+  EXPECT_THROW(run({{&sched, &m, 0.0, {}}}), PreconditionError);  // identity needs P==topo
 }
 
 // ---------------------------------------------------------------- sim glue
