@@ -139,7 +139,12 @@ ServingRun serve(const std::vector<Arrival>& arrivals, bool tuned,
     job.sched = &it->second.sched;
     job.match = &it->second.match;
     job.arrival = a.t;
-    for (int r = 0; r < kCommRanks; ++r) job.rank_map.push_back(a.window + r);
+    // Plans are root-canonical (one compilation serves every root), so
+    // plan rank r is relative rank r: map it to world rank
+    // window + (root + r) % P, keeping the root at window + a.root.
+    for (int r = 0; r < kCommRanks; ++r) {
+      job.rank_map.push_back(a.window + (a.root + r) % kCommRanks);
+    }
     jobs.push_back(std::move(job));
   }
 

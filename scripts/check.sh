@@ -53,6 +53,9 @@ build-asan/tools/bsb-fuzz --variant=allgatherv-ring-tuned --ranks=13 \
   --root=12 --bytes=12288 --skew-seed=99
 build-asan/tools/bsb-fuzz --variant=allgather-bruck-hier --ranks=12 \
   --bytes=768 --smp-cores=4
+# Hierarchical broadcast over a ragged node shape with a non-leader root.
+build-asan/tools/bsb-fuzz --variant=bcast-hier --ranks=11 --root=5 \
+  --bytes=65536 --nodes=4,4,3 --tuned=1
 
 echo "==== static schedule proofs (sanitized) ===="
 build-asan/tools/bsb-verify --selftest

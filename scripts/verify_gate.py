@@ -5,9 +5,11 @@ Usage: verify_gate.py VERIFY_JSON
 
 Checks the bsb-verify-v1 schema, requires zero failures (case-level and
 closed-form), re-asserts the paper's anchor transfer counts
-(P=8: 56 -> 44, P=10: 90 -> 75) and the generalized reduction-family
-anchors (P=8: 68 / 124 -> 112, P=10: 105 / 195 -> 180), and requires
-the ownership-aware collectives to appear in the per-variant coverage.
+(P=8: 56 -> 44, P=10: 90 -> 75), the generalized reduction-family
+anchors (P=8: 68 / 124 -> 112, P=10: 105 / 195 -> 180), and the
+hierarchical leader-group anchors (8 leaders: 63 -> 51 inter-node
+messages, 10 leaders: 99 -> 84), and requires the ownership-aware
+collectives to appear in the per-variant coverage.
 Exit 0 = gate passed.
 """
 
@@ -29,6 +31,12 @@ FAMILY_ANCHORS = {
     "p10_allreduce_native": 195,
     "p10_allreduce_tuned": 180,
 }
+HIER_ANCHORS = {
+    "l8_inter_native": 63,
+    "l8_inter_tuned": 51,
+    "l10_inter_native": 99,
+    "l10_inter_tuned": 84,
+}
 REQUIRED_VARIANTS = [
     "bcast-scatter-ring-tuned",
     "reduce-scatter-ring",
@@ -38,6 +46,7 @@ REQUIRED_VARIANTS = [
     "allgatherv-ring-native",
     "allgatherv-ring-tuned",
     "allgather-bruck-hier",
+    "bcast-hier",
 ]
 REQUIRED_KEYS = [
     "schema",
@@ -51,6 +60,7 @@ REQUIRED_KEYS = [
     "closed_form_failures",
     "paper",
     "family",
+    "hier",
     "per_variant",
     "failed",
     "elapsed_seconds",
@@ -90,6 +100,10 @@ def main(argv: list) -> int:
         got = doc["family"].get(key)
         if got != want:
             return fail(f"family anchor {key}: got {got}, expected {want}")
+    for key, want in HIER_ANCHORS.items():
+        got = doc["hier"].get(key)
+        if got != want:
+            return fail(f"hier anchor {key}: got {got}, expected {want}")
     for name, stats in doc["per_variant"].items():
         if stats["failures"] != 0:
             return fail(f"variant {name}: {stats['failures']} failure(s)")

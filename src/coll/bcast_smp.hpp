@@ -11,6 +11,7 @@
 #include <functional>
 #include <span>
 
+#include "coll/hier/topology.hpp"
 #include "comm/comm.hpp"
 #include "comm/topology.hpp"
 
@@ -23,5 +24,10 @@ using BcastFn = std::function<void(Comm&, std::span<std::byte>, int)>;
 /// the root itself; other nodes are led by their lowest rank.
 void bcast_smp(Comm& comm, std::span<std::byte> buffer, int root,
                const Topology& topo, const BcastFn& inter_bcast);
+
+/// bcast_smp over a ragged hier::Topology: non-divisible node sizes,
+/// single-rank nodes and leader != first-rank-of-node shapes all work.
+void bcast_smp(Comm& comm, std::span<std::byte> buffer, int root,
+               const hier::Topology& topo, const BcastFn& inter_bcast);
 
 }  // namespace bsb::coll

@@ -1,0 +1,80 @@
+#include "coll/hier/bcast_hier.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "coll/allgather_ring_native.hpp"
+#include "coll/scatter_binomial.hpp"
+#include "coll/tags.hpp"
+#include "comm/chunks.hpp"
+#include "comm/subcomm.hpp"
+#include "core/allgather_ring_tuned.hpp"
+
+namespace bsb::core {
+
+namespace {
+// Tag namespace for the leader SubComm; matches bcast_smp's leader context
+// so the hier family composes with the same scaffolding. Phase B runs raw
+// (context 0) on the parent with its own tag, so the phases cannot match
+// each other's traffic.
+constexpr int kLeaderContext = 1;
+}  // namespace
+
+void bcast_hier(Comm& comm, std::span<std::byte> buffer, int root,
+                const hier::Topology& topo, const HierBcastOptions& opt) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  BSB_REQUIRE(topo.nranks() == P, "bcast_hier: topology size != comm size");
+  BSB_REQUIRE(root >= 0 && root < P, "bcast_hier: root out of range");
+
+  const int my_node = topo.node_of(me);
+  const int leader = topo.leader_of(my_node, root);
+  const int L = topo.num_nodes();
+
+  // Phase A: scatter + ring allgather across the node leaders. The root is
+  // its node's leader by construction, so the leader-comm root is simply
+  // the root's node index (leaders are pushed in node order).
+  if (me == leader && L > 1) {
+    SubComm leader_comm(comm, topo.leaders(root), kLeaderContext);
+    const int leader_root = topo.node_of(root);
+    const ChunkLayout layout(buffer.size(), L);
+    coll::scatter_binomial(leader_comm, buffer, leader_root, layout);
+    if (opt.tuned) {
+      allgather_ring_tuned(leader_comm, buffer, leader_root, layout);
+    } else {
+      coll::allgather_ring_native(leader_comm, buffer, leader_root, layout);
+    }
+  }
+
+  // Phase B: single-copy fan-out inside the node — exactly one full-buffer
+  // message per non-leader (netsim prices these on the shm channel).
+  const int copies = opt.sabotage_double_fanout ? 2 : 1;
+  if (me == leader) {
+    const int begin = topo.node_begin(my_node);
+    for (int r = begin; r < begin + topo.node_size(my_node); ++r) {
+      if (r == leader) continue;
+      for (int c = 0; c < copies; ++c) {
+        comm.send(buffer, r, coll::tags::kHierFanout);
+      }
+    }
+  } else {
+    for (int c = 0; c < copies; ++c) {
+      comm.recv(buffer, leader, coll::tags::kHierFanout);
+    }
+  }
+}
+
+void bcast_hier_native(Comm& comm, std::span<std::byte> buffer, int root,
+                       const hier::Topology& topo) {
+  HierBcastOptions opt;
+  opt.tuned = false;
+  bcast_hier(comm, buffer, root, topo, opt);
+}
+
+void bcast_hier_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                      const hier::Topology& topo) {
+  bcast_hier(comm, buffer, root, topo, HierBcastOptions{});
+}
+
+}  // namespace bsb::core

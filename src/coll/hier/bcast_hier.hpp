@@ -1,0 +1,51 @@
+// Hierarchical node-aware broadcast — the paper's tuned non-enclosed
+// scatter-ring-allgather restructured around the node boundary
+// (docs/TOPOLOGY.md, DESIGN.md §9):
+//
+//   Phase A (inter-node, leaders only): binomial scatter + ring allgather
+//     over ONE leader per node, so the quadratic ring traffic scales with
+//     the node count L, not the rank count P. The tuned flavour applies
+//     the non-enclosed ownership trick at P = L; the native flavour runs
+//     the enclosed ring at P = L.
+//   Phase B (intra-node): each leader hands the full buffer to every other
+//     rank of its node with ONE message each (the XPMEM-style single-copy
+//     fan-out netsim prices on the shm channel) — exactly P - L messages.
+//
+// Degenerate shapes fold into flat algorithms: one node is a pure fan-out,
+// all-1-core nodes are exactly the flat scatter-ring broadcast. Everything
+// is computed from the rank's position alone (no barriers, home offsets
+// only), so the schedule is recordable, plan-compilable and provable by
+// bsb-verify.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/hier/topology.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::core {
+
+struct HierBcastOptions {
+  /// Tuned (non-enclosed) vs native (enclosed) ring across the leaders.
+  bool tuned = true;
+  /// Self-test sabotage: leaders send the fan-out buffer twice. Byte-exact
+  /// oracles cannot see it (same bytes land twice); the verifier's
+  /// redundancy proof and the closed-form transfer counts must.
+  bool sabotage_double_fanout = false;
+};
+
+/// Broadcast `buffer` from `root` over `comm`, hierarchically per `topo`
+/// (topo.nranks() must equal comm.size()).
+void bcast_hier(Comm& comm, std::span<std::byte> buffer, int root,
+                const hier::Topology& topo, const HierBcastOptions& opt = {});
+
+/// bcast_hier with the enclosed leader ring.
+void bcast_hier_native(Comm& comm, std::span<std::byte> buffer, int root,
+                       const hier::Topology& topo);
+
+/// bcast_hier with the paper's non-enclosed leader ring.
+void bcast_hier_tuned(Comm& comm, std::span<std::byte> buffer, int root,
+                      const hier::Topology& topo);
+
+}  // namespace bsb::core

@@ -1,0 +1,104 @@
+#include "coll/hier/topology.hpp"
+
+#include <numeric>
+
+#include "bsbutil/error.hpp"
+
+namespace bsb::hier {
+
+Topology::Topology(std::vector<int> node_sizes)
+    : node_sizes_(std::move(node_sizes)) {
+  BSB_REQUIRE(!node_sizes_.empty(), "hier::Topology: need at least one node");
+  node_begin_.reserve(node_sizes_.size() + 1);
+  node_begin_.push_back(0);
+  for (std::size_t n = 0; n < node_sizes_.size(); ++n) {
+    BSB_REQUIRE(node_sizes_[n] >= 1, "hier::Topology: node sizes must be >= 1");
+    node_begin_.push_back(node_begin_.back() + node_sizes_[n]);
+  }
+  nranks_ = node_begin_.back();
+  node_of_.resize(static_cast<std::size_t>(nranks_));
+  for (int n = 0; n < num_nodes(); ++n) {
+    for (int r = node_begin_[static_cast<std::size_t>(n)];
+         r < node_begin_[static_cast<std::size_t>(n) + 1]; ++r) {
+      node_of_[static_cast<std::size_t>(r)] = n;
+    }
+  }
+}
+
+Topology Topology::uniform(int nranks, int cores_per_node) {
+  BSB_REQUIRE(nranks >= 1, "hier::Topology: nranks must be >= 1");
+  BSB_REQUIRE(cores_per_node >= 1, "hier::Topology: cores_per_node must be >= 1");
+  std::vector<int> sizes;
+  for (int left = nranks; left > 0; left -= cores_per_node) {
+    sizes.push_back(left < cores_per_node ? left : cores_per_node);
+  }
+  return Topology(std::move(sizes));
+}
+
+Topology Topology::from_string(const std::string& csv) {
+  std::vector<int> sizes;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(pos, comma - pos);
+    std::size_t used = 0;
+    int v = 0;
+    try {
+      v = std::stoi(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    BSB_REQUIRE(used == tok.size() && !tok.empty() && v >= 1,
+                "hier::Topology: node list must be comma-separated sizes >= 1");
+    sizes.push_back(v);
+    pos = comma + 1;
+    if (comma == csv.size()) break;
+  }
+  return Topology(std::move(sizes));
+}
+
+std::string Topology::to_string() const {
+  std::string out;
+  for (std::size_t n = 0; n < node_sizes_.size(); ++n) {
+    if (n > 0) out += ',';
+    out += std::to_string(node_sizes_[n]);
+  }
+  return out;
+}
+
+int Topology::node_of(int rank) const {
+  BSB_REQUIRE(rank >= 0 && rank < nranks_, "hier::Topology: rank out of range");
+  return node_of_[static_cast<std::size_t>(rank)];
+}
+
+int Topology::node_begin(int node) const {
+  BSB_REQUIRE(node >= 0 && node < num_nodes(), "hier::Topology: node out of range");
+  return node_begin_[static_cast<std::size_t>(node)];
+}
+
+int Topology::node_size(int node) const {
+  BSB_REQUIRE(node >= 0 && node < num_nodes(), "hier::Topology: node out of range");
+  return node_sizes_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> Topology::ranks_on_node(int node) const {
+  const int begin = node_begin(node);
+  std::vector<int> ranks(static_cast<std::size_t>(node_size(node)));
+  std::iota(ranks.begin(), ranks.end(), begin);
+  return ranks;
+}
+
+int Topology::leader_of(int node, int root) const {
+  BSB_REQUIRE(root >= 0 && root < nranks_, "hier::Topology: root out of range");
+  return node == node_of(root) ? root : node_begin(node);
+}
+
+std::vector<int> Topology::leaders(int root) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_nodes()));
+  for (int n = 0; n < num_nodes(); ++n) out.push_back(leader_of(n, root));
+  return out;
+}
+
+}  // namespace bsb::hier

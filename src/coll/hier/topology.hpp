@@ -1,0 +1,72 @@
+// Ragged node topology for the hierarchical collective family
+// (docs/TOPOLOGY.md). A cluster is a contiguous block partition of the
+// rank range: node n holds ranks [node_begin(n), node_begin(n) +
+// node_size(n)), and node sizes may differ (the "ragged" shapes produced
+// by comm_split or by scheduling partial nodes). This generalizes the
+// uniform comm/topology.hpp Block placement, which remains the netsim
+// replay's physical model; the two agree for uniform shapes.
+//
+// Leader election is root-aware: on the root's node the root itself leads
+// (saving one intra-node hop, exactly as bcast_smp elects leaders), on
+// every other node the lowest rank leads. Leaders listed in node order are
+// therefore strictly increasing, which keeps leader SubComm construction
+// deterministic on every member.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsb::hier {
+
+class Topology {
+ public:
+  /// One entry per node, every size >= 1. nranks() is the sum.
+  explicit Topology(std::vector<int> node_sizes);
+
+  /// ceil(nranks / cores_per_node) nodes of cores_per_node ranks; the last
+  /// node is short when cores_per_node does not divide nranks.
+  static Topology uniform(int nranks, int cores_per_node);
+
+  /// Parse a comma-separated node-size list, e.g. "4,4,3" (the bsb-fuzz
+  /// --nodes reproducer syntax). Throws PreconditionError on bad input.
+  static Topology from_string(const std::string& csv);
+
+  /// Inverse of from_string: "4,4,3".
+  std::string to_string() const;
+
+  int nranks() const noexcept { return nranks_; }
+  int num_nodes() const noexcept { return static_cast<int>(node_sizes_.size()); }
+
+  /// O(1) table lookup.
+  int node_of(int rank) const;
+
+  /// First rank of `node`.
+  int node_begin(int node) const;
+
+  /// Ranks on `node` (>= 1).
+  int node_size(int node) const;
+
+  /// The contiguous rank block [node_begin, node_begin + node_size).
+  std::vector<int> ranks_on_node(int node) const;
+
+  /// Leader of `node` for an operation rooted at `root`: the root itself
+  /// on the root's node, the lowest rank elsewhere.
+  int leader_of(int node, int root) const;
+
+  /// One leader per node, in node order (strictly increasing ranks).
+  std::vector<int> leaders(int root) const;
+
+  bool is_leader(int rank, int root) const {
+    return leader_of(node_of(rank), root) == rank;
+  }
+
+  const std::vector<int>& node_sizes() const noexcept { return node_sizes_; }
+
+ private:
+  std::vector<int> node_sizes_;
+  std::vector<int> node_begin_;  // num_nodes + 1 entries; prefix sums
+  std::vector<int> node_of_;     // nranks entries
+  int nranks_ = 0;
+};
+
+}  // namespace bsb::hier

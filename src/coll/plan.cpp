@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bsbutil/error.hpp"
+#include "comm/chunks.hpp"
 
 namespace bsb::coll {
 
@@ -71,26 +72,33 @@ Plan compile_plan(int nranks, std::uint64_t nbytes, int root, std::string name,
 }
 
 void execute_plan_rank(Comm& comm, const Plan& plan, int rank,
-                       std::span<std::byte> buffer) {
+                       std::span<std::byte> buffer, int root) {
   BSB_REQUIRE(rank >= 0 && rank < plan.nranks,
               "execute_plan_rank: rank out of range");
+  BSB_REQUIRE(root >= 0 && root < plan.nranks,
+              "execute_plan_rank: root out of range");
   BSB_REQUIRE(comm.size() == plan.nranks,
               "execute_plan_rank: communicator size differs from the plan");
   BSB_REQUIRE(buffer.size() == plan.nbytes,
               "execute_plan_rank: buffer size differs from the planned size");
-  for (const PlanStep& s : plan.steps[static_cast<std::size_t>(rank)]) {
+  const int P = plan.nranks;
+  const int local = rel_rank(rank, root, P);
+  for (const PlanStep& s : plan.steps[static_cast<std::size_t>(local)]) {
     switch (s.kind) {
       case PlanStep::Kind::Send:
         comm.send(std::span<const std::byte>(buffer).subspan(s.send_off, s.send_len),
-                  s.dst, s.tag);
+                  abs_rank(s.dst, root, P), s.tag);
         break;
       case PlanStep::Kind::Recv:
-        comm.recv(buffer.subspan(s.recv_off, s.recv_len), s.src, s.tag);
+        comm.recv(buffer.subspan(s.recv_off, s.recv_len),
+                  abs_rank(s.src, root, P), s.tag);
         break;
       case PlanStep::Kind::SendRecv:
         comm.sendrecv(
             std::span<const std::byte>(buffer).subspan(s.send_off, s.send_len),
-            s.dst, s.tag, buffer.subspan(s.recv_off, s.recv_len), s.src, s.tag);
+            abs_rank(s.dst, root, P), s.tag,
+            buffer.subspan(s.recv_off, s.recv_len), abs_rank(s.src, root, P),
+            s.tag);
         break;
     }
   }

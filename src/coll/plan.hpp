@@ -60,8 +60,13 @@ Plan compile_plan(int nranks, std::uint64_t nbytes, int root, std::string name,
 /// Blocking replay of rank `rank`'s step list over `buffer` (must be
 /// plan.nbytes long). PersistentBcast::execute and tests use this; the
 /// nonblocking path drives the same steps through mpisim's progress engine.
+///
+/// `root` rotates a root-canonical plan (compiled at root 0, as the
+/// schedule cache stores them): absolute rank `rank` runs the step list of
+/// plan rank rel_rank(rank, root, P) with every peer mapped back through
+/// abs_rank. With root 0 this is a plain replay.
 void execute_plan_rank(Comm& comm, const Plan& plan, int rank,
-                       std::span<std::byte> buffer);
+                       std::span<std::byte> buffer, int root = 0);
 
 /// Human-readable listing of one rank's steps.
 std::string describe_plan_rank(const Plan& plan, int rank);

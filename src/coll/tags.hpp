@@ -24,5 +24,6 @@ inline constexpr int kAllgathervRingTuned = 17;
 inline constexpr int kBruckHierGather = 18;
 inline constexpr int kBruckHierExchange = 19;
 inline constexpr int kBruckHierBcast = 20;
+inline constexpr int kHierFanout = 21;
 
 }  // namespace bsb::coll::tags

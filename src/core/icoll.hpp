@@ -27,13 +27,19 @@ inline constexpr int kPlanAllgatherRingNative = 100;
 inline constexpr int kPlanAllgatherRingTuned = 101;
 
 /// The cached plan core::bcast would run for this shape (process schedule
-/// cache; builds and inserts on a miss).
+/// cache; builds and inserts on a miss). Plans are ROOT-CANONICAL: the
+/// returned plan is compiled at root 0 and shared by every root and every
+/// same-shaped communicator (the flat algorithms are rotation-equivariant,
+/// so plan rank i is relative rank i w.r.t. the actual root). Execute it
+/// through coll::execute_plan_rank's root parameter or the progress
+/// engine's member map — never at absolute ranks when root != 0.
 std::shared_ptr<const coll::Plan> bcast_plan(int nranks, std::uint64_t nbytes,
                                              int root,
                                              const BcastConfig& cfg = {});
 
 /// The cached plan of the (native or tuned) ring allgather over chunks
 /// scattered by scatter_binomial, as the blocking allgather_ring_* run.
+/// Root-canonical exactly like bcast_plan.
 std::shared_ptr<const coll::Plan> allgather_plan(int nranks,
                                                  std::uint64_t nbytes, int root,
                                                  bool tuned);

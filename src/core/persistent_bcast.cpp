@@ -1,6 +1,7 @@
 #include "core/persistent_bcast.hpp"
 
 #include "bsbutil/error.hpp"
+#include "comm/chunks.hpp"
 #include "core/icoll.hpp"
 
 namespace bsb::core {
@@ -8,6 +9,7 @@ namespace bsb::core {
 PersistentBcast::PersistentBcast(Comm& comm, std::uint64_t nbytes, int root,
                                  const BcastConfig& cfg)
     : comm_(&comm),
+      root_(root),
       algorithm_(choose_bcast_algorithm(nbytes, comm.size(), cfg)) {
   BSB_REQUIRE(root >= 0 && root < comm.size(),
               "PersistentBcast: root out of range");
@@ -15,11 +17,18 @@ PersistentBcast::PersistentBcast(Comm& comm, std::uint64_t nbytes, int root,
 }
 
 void PersistentBcast::execute(std::span<std::byte> buffer) const {
-  coll::execute_plan_rank(*comm_, *plan_, comm_->rank(), buffer);
+  coll::execute_plan_rank(*comm_, *plan_, comm_->rank(), buffer, root_);
+}
+
+const std::vector<BcastStep>& PersistentBcast::steps() const noexcept {
+  return plan_->steps[static_cast<std::size_t>(
+      rel_rank(comm_->rank(), root_, comm_->size()))];
 }
 
 std::string PersistentBcast::describe() const {
-  return "PersistentBcast: " + coll::describe_plan_rank(*plan_, comm_->rank());
+  return "PersistentBcast(root " + std::to_string(root_) + "): " +
+         coll::describe_plan_rank(
+             *plan_, rel_rank(comm_->rank(), root_, comm_->size()));
 }
 
 }  // namespace bsb::core

@@ -41,12 +41,13 @@ class PersistentBcast {
 
   BcastAlgorithm algorithm() const noexcept { return algorithm_; }
   std::uint64_t nbytes() const noexcept { return plan_->nbytes; }
-  int root() const noexcept { return plan_->root; }
+  int root() const noexcept { return root_; }
 
-  /// The step list this rank will run (inspection/testing).
-  const std::vector<BcastStep>& steps() const noexcept {
-    return plan_->steps[static_cast<std::size_t>(comm_->rank())];
-  }
+  /// The step list this rank will run (inspection/testing). The backing
+  /// plan is root-canonical, so the steps are in RELATIVE-rank coordinates
+  /// (peer r means absolute rank (r + root) % P); execute() applies the
+  /// rotation.
+  const std::vector<BcastStep>& steps() const noexcept;
 
   /// The whole-communicator plan backing this handle.
   const std::shared_ptr<const coll::Plan>& plan() const noexcept { return plan_; }
@@ -56,6 +57,7 @@ class PersistentBcast {
 
  private:
   Comm* comm_;
+  int root_;
   BcastAlgorithm algorithm_;
   std::shared_ptr<const coll::Plan> plan_;
 };

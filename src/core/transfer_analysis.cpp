@@ -70,6 +70,27 @@ std::uint64_t bruck_hier_transfers(int comm_size, int cores_per_node) {
   return 2 * (P - L) + L * static_cast<std::uint64_t>(ceil_log2(L));
 }
 
+std::uint64_t hier_inter_transfers(int nleaders, std::uint64_t nbytes,
+                                   bool tuned) {
+  BSB_REQUIRE(nleaders >= 1, "hier_inter_transfers: nleaders >= 1");
+  if (nleaders == 1) return 0;
+  return scatter_transfers(nleaders, nbytes) +
+         (tuned ? tuned_ring_transfers(nleaders)
+                : native_ring_transfers(nleaders));
+}
+
+std::uint64_t hier_intra_transfers(int comm_size, int nleaders) {
+  BSB_REQUIRE(comm_size >= nleaders && nleaders >= 1,
+              "hier_intra_transfers: need 1 <= nleaders <= comm_size");
+  return static_cast<std::uint64_t>(comm_size - nleaders);
+}
+
+std::uint64_t hier_bcast_transfers(int comm_size, int nleaders,
+                                   std::uint64_t nbytes, bool tuned) {
+  return hier_inter_transfers(nleaders, nbytes, tuned) +
+         hier_intra_transfers(comm_size, nleaders);
+}
+
 double tuned_saving_fraction(int comm_size) {
   const std::uint64_t native = native_ring_transfers(comm_size);
   if (native == 0) return 0.0;

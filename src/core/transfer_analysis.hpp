@@ -52,6 +52,20 @@ std::uint64_t allreduce_rsag_tuned_transfers(int comm_size);
 /// L = ceil(P / cores_per_node).
 std::uint64_t bruck_hier_transfers(int comm_size, int cores_per_node);
 
+/// Inter-node messages of the two-level hier broadcast over `nleaders`
+/// leaders: the flat scatter + (native|tuned) ring closed form evaluated
+/// at P = nleaders, and 0 for a single node (no inter phase at all).
+std::uint64_t hier_inter_transfers(int nleaders, std::uint64_t nbytes,
+                                   bool tuned);
+
+/// Intra-node fan-out messages of the hier broadcast: exactly one
+/// full-buffer copy per non-leader rank, i.e. P - L.
+std::uint64_t hier_intra_transfers(int comm_size, int nleaders);
+
+/// Total hier broadcast messages: inter + intra.
+std::uint64_t hier_bcast_transfers(int comm_size, int nleaders,
+                                   std::uint64_t nbytes, bool tuned);
+
 /// Tabulated summary for a range of process counts (used by the
 /// transfer-count bench and DESIGN/EXPERIMENTS docs).
 std::string transfer_table(const std::vector<int>& comm_sizes);

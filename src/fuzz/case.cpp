@@ -34,10 +34,21 @@ constexpr std::array<Variant, kNumVariants> kAllVariants = {
     Variant::AllgathervRingTuned,
     Variant::AllgatherBruckHier,
     Variant::IbcastConcurrent,
+    Variant::BcastHier,
 };
 
 std::uint64_t case_key(std::uint64_t seed, std::uint64_t index) noexcept {
   return (seed ^ 0x5DEECE66DULL) * 0x100000001b3ULL + index * 0x9e3779b97f4a7c15ULL;
+}
+
+/// "4,4,3" rendering of a node shape (the --nodes= flag syntax).
+std::string join_sizes(const std::vector<int>& sizes) {
+  std::string s;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(sizes[i]);
+  }
+  return s;
 }
 
 }  // namespace
@@ -105,6 +116,7 @@ const char* to_string(Variant v) noexcept {
     case Variant::AllgathervRingTuned: return "allgatherv-ring-tuned";
     case Variant::AllgatherBruckHier: return "allgather-bruck-hier";
     case Variant::IbcastConcurrent: return "ibcast-concurrent";
+    case Variant::BcastHier: return "bcast-hier";
   }
   return "?";
 }
@@ -137,6 +149,31 @@ int fit_ranks(Variant v, int nranks) noexcept {
 FuzzCase normalize_case(FuzzCase c) {
   c.nranks = fit_ranks(c.variant, c.nranks);
   c.root = is_rootless(c.variant) ? 0 : c.root % c.nranks;
+  if (c.variant == Variant::BcastHier) {
+    // Refit the node shape so positive sizes sum to exactly nranks: keep
+    // the sampled sizes as a prefix, clamp the straddler, extend with a
+    // remainder node, drop the tail. An empty shape falls back to a
+    // uniform split at smp_cores_per_node.
+    std::vector<int> fit;
+    int sum = 0;
+    for (int s : c.node_sizes) {
+      if (s < 1 || sum >= c.nranks) continue;
+      s = std::min(s, c.nranks - sum);
+      fit.push_back(s);
+      sum += s;
+    }
+    if (fit.empty()) {
+      const int cores = std::max(c.smp_cores_per_node, 1);
+      for (int left = c.nranks; left > 0; left -= cores) {
+        fit.push_back(std::min(left, cores));
+      }
+    } else if (sum < c.nranks) {
+      fit.push_back(c.nranks - sum);
+    }
+    c.node_sizes = std::move(fit);
+  } else {
+    c.node_sizes.clear();
+  }
   if (is_block_allgather(c.variant)) {
     std::uint64_t block = c.nbytes / static_cast<std::uint64_t>(c.nranks);
     if (block == 0) block = 1;
@@ -245,6 +282,28 @@ FuzzCase sample_case(std::uint64_t seed, std::uint64_t index,
       0, 64, 1024, 12288, 65536, std::size_t{1} << 30};
   c.eager_threshold = kEager[rng.next_below(kEager.size())];
 
+  if (c.variant == Variant::BcastHier) {
+    // Node shape: single node (pure fan-out), all-singleton (degenerate
+    // flat ring over every rank), uniform at the sampled cores/node, or a
+    // fully ragged random split with occasional 1-core nodes.
+    const double ns = rng.next_double();
+    if (ns < 0.15) {
+      c.node_sizes.assign(1, c.nranks);
+    } else if (ns < 0.30) {
+      c.node_sizes.assign(static_cast<std::size_t>(c.nranks), 1);
+    } else if (ns < 0.60) {
+      c.node_sizes.clear();  // normalize_case derives the uniform split
+    } else {
+      c.node_sizes.clear();
+      for (int left = c.nranks; left > 0;) {
+        const int s = std::min(1 + static_cast<int>(rng.next_below(8)), left);
+        c.node_sizes.push_back(s);
+        left -= s;
+      }
+    }
+    c = normalize_case(c);
+  }
+
   if (opt.faults && rng.next_double() < 0.4) {
     c.faults.enabled = true;
     c.faults.seed = rng.next();
@@ -268,6 +327,10 @@ std::string describe(const FuzzCase& c) {
   }
   if (c.variant == Variant::BcastSmp || c.variant == Variant::AllgatherBruckHier) {
     s += " cores/node=" + std::to_string(c.smp_cores_per_node);
+  }
+  if (c.variant == Variant::BcastHier) {
+    s += " nodes=" + join_sizes(c.node_sizes) +
+         " tuned=" + (c.use_tuned_ring ? "1" : "0");
   }
   if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent ||
       c.variant == Variant::IbcastConcurrent) {
@@ -312,6 +375,10 @@ std::string explicit_reproducer(const FuzzCase& c) {
   }
   if (c.variant == Variant::BcastSmp || c.variant == Variant::AllgatherBruckHier) {
     s += " --smp-cores=" + std::to_string(c.smp_cores_per_node);
+  }
+  if (c.variant == Variant::BcastHier) {
+    s += " --nodes=" + join_sizes(c.node_sizes) +
+         " --tuned=" + (c.use_tuned_ring ? "1" : "0");
   }
   if (c.variant == Variant::BcastAuto || c.variant == Variant::BcastPersistent ||
       c.variant == Variant::IbcastConcurrent) {

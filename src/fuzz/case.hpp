@@ -9,6 +9,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "coll/reduce_ops.hpp"
 #include "mpisim/world.hpp"
@@ -45,9 +46,13 @@ enum class Variant : std::uint8_t {
   // Nonblocking front-end: kIbcastDepth core::ibcast operations (staggered
   // roots) in flight at once, driven by the per-rank progress engine.
   IbcastConcurrent,
+  // Hierarchical broadcast over an explicit ragged node shape: leaders run
+  // the scatter-ring over their own sub-communicator, then single-copy
+  // fan-out within each node (src/coll/hier).
+  BcastHier,
 };
 
-inline constexpr int kNumVariants = 22;
+inline constexpr int kNumVariants = 23;
 
 /// Broadcasts IbcastConcurrent keeps in flight per rank (primary buffer
 /// plus depth-1 companions with staggered roots).
@@ -108,6 +113,9 @@ struct FuzzCase {
   // Allgatherv family only: seed of the skewed block-size vector
   // (comm/vchunks.hpp's skewed_counts shared with the verifier and tests).
   std::uint64_t skew_seed = 0;
+  // BcastHier only: per-node rank counts (sum == nranks, every entry >= 1).
+  // Empty means "derive a uniform shape from smp_cores_per_node".
+  std::vector<int> node_sizes;
 };
 
 /// Bounds and feature toggles for the generator.

@@ -21,6 +21,10 @@ FuzzCase force_sabotageable_variant(FuzzCase c, Sabotage sabotage) {
     if (c.nbytes == 0) c.nbytes = grain;
     return c;
   }
+  if (sabotage == Sabotage::HierDoubleFanout) {
+    c.variant = Variant::BcastHier;
+    return normalize_case(std::move(c));
+  }
   switch (c.index % 4) {
     case 0: c.variant = Variant::BcastScatterRingTuned; break;
     case 1: c.variant = Variant::AllgatherRingTuned; break;
@@ -129,6 +133,8 @@ bool run_selftest(HarnessOptions opt, std::ostream& out) {
        "corrupting RingPlan.step by +1"},
       {Sabotage::ReduceScatterDoubleFinal,
        "double-sending reduce_scatter final chunks"},
+      {Sabotage::HierDoubleFanout,
+       "double-delivering the hier broadcast fan-out"},
   };
   for (const Probe& probe : kProbes) {
     HarnessOptions o = opt;

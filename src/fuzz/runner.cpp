@@ -20,6 +20,8 @@
 #include "coll/allgather_bruck_hier.hpp"
 #include "coll/allgatherv_ring.hpp"
 #include "coll/bcast_smp.hpp"
+#include "coll/hier/bcast_hier.hpp"
+#include "coll/hier/topology.hpp"
 #include "coll/reduce_ops.hpp"
 #include "coll/reduce_scatter_ring.hpp"
 #include "coll/scatter_binomial.hpp"
@@ -239,6 +241,15 @@ RankBody make_rank_body(const FuzzCase& c, Sabotage sabotage) {
                       "ibcast companion oracle mismatch");
         }
       };
+    case Variant::BcastHier:
+      return [root, sizes = c.node_sizes, tuned = c.use_tuned_ring,
+              sabotage](Comm& comm, std::span<std::byte> buf) {
+        const hier::Topology topo(sizes);
+        core::HierBcastOptions opts;
+        opts.tuned = tuned;
+        opts.sabotage_double_fanout = sabotage == Sabotage::HierDoubleFanout;
+        core::bcast_hier(comm, buf, root, topo, opts);
+      };
   }
   BSB_ASSERT(false, "make_rank_body: unknown variant");
 }
@@ -260,6 +271,7 @@ void fill_initial(const FuzzCase& c, int rank, std::span<std::byte> buf) {
     case Variant::BcastSmp:
     case Variant::BcastAuto:
     case Variant::BcastPersistent:
+    case Variant::BcastHier:
     case Variant::IbcastConcurrent:  // companions are seeded in the body
       if (rank == c.root) fill_pattern(buf, ps);
       return;
@@ -526,6 +538,21 @@ std::string symbolic_check(const FuzzCase& c, const RankBody& body,
           "bruck-hier total msgs", sched.total_sends(),
           core::bruck_hier_transfers(P, c.smp_cores_per_node));
       break;
+    case Variant::BcastHier: {
+      const hier::Topology topo(c.node_sizes);
+      err += check_counts(
+          "bcast-hier total msgs", sched.total_sends(),
+          core::hier_bcast_transfers(P, topo.num_nodes(), c.nbytes,
+                                     c.use_tuned_ring));
+      for (int r = 0; err.empty() && r < P; ++r) {
+        if (topo.is_leader(r, c.root)) continue;
+        // Every non-leader takes part in exactly one transfer: the
+        // single-copy delivery from its node leader.
+        err += check_counts("bcast-hier non-leader sends", per_rank[r].sends, 0);
+        err += check_counts("bcast-hier non-leader recvs", per_rank[r].recvs, 1);
+      }
+      break;
+    }
     default:
       break;  // no closed form for this variant; matching was the check
   }
@@ -546,6 +573,8 @@ bool sabotage_applies(const FuzzCase& c, Sabotage sabotage) noexcept {
              c.variant == Variant::AllreduceRsAgTuned;
     case Sabotage::ReduceScatterDoubleFinal:
       return c.variant == Variant::ReduceScatterBlocks;
+    case Sabotage::HierDoubleFanout:
+      return c.variant == Variant::BcastHier;
   }
   return false;
 }

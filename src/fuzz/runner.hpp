@@ -34,6 +34,11 @@ enum class Sabotage : std::uint8_t {
   /// and bsb-verify's reduce-flow pass must produce a redundancy witness.
   /// Only perturbs Variant::ReduceScatterBlocks.
   ReduceScatterDoubleFinal,
+  /// bcast_hier leaders deliver the buffer TWICE to every non-leader of
+  /// their node: values stay correct, but the intra-node transfer count
+  /// doubles and bsb-verify's redundancy pass must produce a witness.
+  /// Only perturbs Variant::BcastHier.
+  HierDoubleFanout,
 };
 
 struct RunOutcome {

@@ -11,6 +11,9 @@ void CostModel::validate() const {
   BSB_REQUIRE(bw_flow_intra > 0 && bw_flow_inter > 0, "CostModel: flow caps must be positive");
   BSB_REQUIRE(bw_membus > 0 && bw_nic > 0, "CostModel: resource caps must be positive");
   BSB_REQUIRE(bw_fabric >= 0, "CostModel: fabric cap must be nonnegative");
+  BSB_REQUIRE(alpha_shm >= 0, "CostModel: negative shm latency");
+  BSB_REQUIRE(bw_flow_shm > 0 && bw_shm_node > 0,
+              "CostModel: shm caps must be positive");
   BSB_REQUIRE(copy_bw > 0, "CostModel: copy_bw must be positive");
   BSB_REQUIRE(barrier_cost >= 0, "CostModel: negative barrier cost");
 }
@@ -39,7 +42,10 @@ std::string CostModel::describe() const {
          format_mbps(bw_flow_inter, 0) + " MB/s, membus " +
          format_mbps(bw_membus, 0) + " MB/s, nic " + format_mbps(bw_nic, 0) +
          " MB/s, eager<=" + std::to_string(eager_threshold) + "B (credits " +
-         (eager_credits > 0 ? std::to_string(eager_credits) : "unlimited") + ")";
+         (eager_credits > 0 ? std::to_string(eager_credits) : "unlimited") + ")" +
+         (shm_tag >= 0 ? ", shm tag " + std::to_string(shm_tag) + " @ " +
+                             format_mbps(bw_shm_node, 0) + " MB/s/node"
+                       : "");
 }
 
 }  // namespace bsb::netsim

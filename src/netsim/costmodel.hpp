@@ -33,6 +33,23 @@ struct CostModel {
   double bw_nic = 10e9;          // per node, each direction
   double bw_fabric = 0;          // aggregate fabric cap; 0 = unlimited
 
+  // --- XPMEM-style single-copy intra-node channel -------------------------
+  // Intra-node messages whose schedule tag equals `shm_tag` model an
+  // attached-page single-copy transfer (the hier broadcast's fan-out): the
+  // receiver streams straight out of the sender's exported pages, so the
+  // sender is freed at post time and NO per-receiver serialization, eager
+  // buffering, injection copy or copy-out happens. The flows share a
+  // per-node shm resource distinct from the membus and the NIC — one
+  // memory-system traversal per byte instead of the two a copy-in/copy-out
+  // path pays, hence the default aggregate is twice bw_membus.
+  double alpha_shm = 0.25e-6;    // page attach + handoff latency
+  double bw_flow_shm = 10e9;     // one single-copy stream
+  double bw_shm_node = 40e9;     // per-node aggregate over all shm flows
+  /// Schedule tag routed onto the shm channel; -1 disables it (the
+  /// resource is then not even allocated, keeping replays bit-identical
+  /// to the pre-shm engine).
+  int shm_tag = -1;
+
   // --- protocol -----------------------------------------------------------
   /// Messages at most this size are eager: the sender deposits and moves
   /// on. Larger messages rendezvous: RTS/CTS handshake (one alpha each

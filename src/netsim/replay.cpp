@@ -53,6 +53,7 @@ struct RankSim {
 struct MsgSim {
   double bytes = 0;
   bool inter = false;
+  bool shm = false;  // single-copy channel (CostModel::shm_tag)
   bool eager = true;
   int gsrc = -1;       // topology rank of the sender
   int gdst = -1;       // topology rank of the receiver
@@ -157,7 +158,11 @@ class Engine {
         ms.lane_src = ctx.lane_base + mm.src;
         ms.lane_dst = ctx.lane_base + mm.dst;
         ms.inter = !topo.same_node(ms.gsrc, ms.gdst);
-        ms.eager = mm.bytes <= cost.eager_threshold;
+        ms.shm = !ms.inter && cost.shm_tag >= 0 && mm.tag == cost.shm_tag;
+        // Shm transfers are neither eager (no intermediate buffering to
+        // deposit into) nor rendezvous (the sender never blocks on the
+        // drain): a third protocol with its own posting rules below.
+        ms.eager = !ms.shm && mm.bytes <= cost.eager_threshold;
       }
     }
   }
@@ -251,6 +256,7 @@ class Engine {
     result.messages = msgs_.size();
     result.flows_started = flows_started_;
     result.rate_recomputes = rate_recomputes_;
+    attribute_channels(result);
     return result;
   }
 
@@ -271,22 +277,47 @@ class Engine {
     result.messages = msgs_.size();
     result.flows_started = flows_started_;
     result.rate_recomputes = rate_recomputes_;
+    attribute_channels(result);
     return result;
   }
 
  private:
+  /// Per-level flow attribution: count every message against the channel
+  /// that carried it (shm / NIC / membus).
+  template <typename Result>
+  void attribute_channels(Result& result) const {
+    for (const MsgSim& ms : msgs_) {
+      const std::uint64_t b = static_cast<std::uint64_t>(ms.bytes);
+      if (ms.shm) {
+        ++result.shm_messages;
+        result.shm_bytes += b;
+      } else if (ms.inter) {
+        ++result.inter_messages;
+        result.inter_bytes += b;
+      } else {
+        ++result.intra_messages;
+        result.intra_bytes += b;
+      }
+    }
+  }
   // ------------------------------------------------------------ resources
   // Resource layout: [0, N) membus per node; [N, 2N) NIC-out; [2N, 3N)
-  // NIC-in; optionally 3N = global fabric. Indexed by TOPOLOGY node, so
-  // concurrent jobs mapped onto overlapping ranks share the same wires.
+  // NIC-in; when the shm channel is enabled, [3N, 4N) per-node shm; then
+  // optionally a global fabric. Indexed by TOPOLOGY node, so concurrent
+  // jobs mapped onto overlapping ranks share the same wires. With the shm
+  // channel disabled the layout (and every replay) is bit-identical to the
+  // pre-shm engine.
   static std::vector<double> build_capacities(const Topology& topo,
                                               const CostModel& cost) {
     const int n = topo.num_nodes();
     std::vector<double> caps;
-    caps.reserve(static_cast<std::size_t>(3 * n + 1));
+    caps.reserve(static_cast<std::size_t>(4 * n + 1));
     for (int i = 0; i < n; ++i) caps.push_back(cost.bw_membus);
     for (int i = 0; i < n; ++i) caps.push_back(cost.bw_nic);
     for (int i = 0; i < n; ++i) caps.push_back(cost.bw_nic);
+    if (cost.shm_tag >= 0) {
+      for (int i = 0; i < n; ++i) caps.push_back(cost.bw_shm_node);
+    }
     if (cost.bw_fabric > 0) caps.push_back(cost.bw_fabric);
     return caps;
   }
@@ -296,9 +327,13 @@ class Engine {
     const int n = topo_.num_nodes();
     const int sn = topo_.node_of(ms.gsrc);
     const int dn = topo_.node_of(ms.gdst);
+    // Shm flows touch ONLY the node's shm resource: no membus, no NIC —
+    // the contention-independence the netsim tests pin down.
+    if (ms.shm) return {3 * n + sn};
     if (sn == dn) return {sn};
+    const int fabric = 3 * n + (cost_.shm_tag >= 0 ? n : 0);
     std::vector<int> res{n + sn, 2 * n + dn};
-    if (cost_.bw_fabric > 0) res.push_back(3 * n);
+    if (cost_.bw_fabric > 0) res.push_back(fabric);
     return res;
   }
 
@@ -320,11 +355,13 @@ class Engine {
     MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     if (ms.delivered >= 0 || ms.flow_id >= 0) return;  // already running/done
     if (ms.bytes <= 0) {
-      deliver(msg_id, now_ + cost_.alpha(ms.inter));
+      // Shm paid its attach latency before the FlowStart event fired.
+      deliver(msg_id, ms.shm ? now_ : now_ + cost_.alpha(ms.inter));
       return;
     }
     ms.flow_id = fluid_.add_flow(ms.bytes, flow_resources(msg_id),
-                                 cost_.flow_cap(ms.inter));
+                                 ms.shm ? cost_.bw_flow_shm
+                                        : cost_.flow_cap(ms.inter));
     flow_msg_[ms.flow_id] = msg_id;
     ++flows_started_;
     fluid_.recompute_rates();
@@ -340,7 +377,9 @@ class Engine {
       flow_msg_.erase(fid);
       MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
       ms.flow_id = -2;
-      deliver(msg_id, now_ + cost_.alpha(ms.inter));
+      // A finished shm flow IS the receive (the receiver did the copy
+      // itself); there is no completion-notification latency to add.
+      deliver(msg_id, ms.shm ? now_ : now_ + cost_.alpha(ms.inter));
     }
     if (fluid_.active_count() > 0) {
       fluid_.recompute_rates();
@@ -362,7 +401,11 @@ class Engine {
     MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     BSB_ASSERT(ms.send_posted < 0, "replay: send half posted twice");
     ms.send_posted = now_;
-    if (ms.eager) {
+    if (ms.shm) {
+      // Single-copy: the sender only exports its pages and moves on; the
+      // transfer starts once the receiver is there to pull.
+      maybe_schedule_shm(msg_id);
+    } else if (ms.eager) {
       // The sender's CPU already performed the injection copy (charged in
       // the op's busy time). Intra-node the payload is now sitting in a
       // shared-memory slot: delivered after the handoff latency, no shared
@@ -381,11 +424,24 @@ class Engine {
     MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
     BSB_ASSERT(ms.recv_posted < 0, "replay: recv half posted twice");
     ms.recv_posted = now_;
-    if (!ms.eager) {
+    if (ms.shm) {
+      maybe_schedule_shm(msg_id);
+    } else if (!ms.eager) {
       maybe_schedule_rendezvous(msg_id);
     } else {
       maybe_finalize_eager_recv(msg_id);
     }
+  }
+
+  /// Schedule the single-copy pull once both sides have posted: one attach
+  /// latency, then the receiver streams straight from the sender's pages
+  /// on the node's shm resource.
+  void maybe_schedule_shm(int msg_id) {
+    MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
+    if (ms.flow_scheduled || ms.send_posted < 0 || ms.recv_posted < 0) return;
+    ms.flow_scheduled = true;
+    push_event(std::max(ms.send_posted, ms.recv_posted) + cost_.alpha_shm,
+               EventKind::FlowStart, msg_id);
   }
 
   /// Once an eager message's delivery AND its receive post are both known,
@@ -460,7 +516,7 @@ class Engine {
 
   bool send_half_done(int msg_id) const {
     const MsgSim& ms = msgs_[static_cast<std::size_t>(msg_id)];
-    if (ms.eager) return true;  // sender freed at post
+    if (ms.eager || ms.shm) return true;  // sender freed at post
     return ms.delivered >= 0 && now_ + kTimeEps >= ms.delivered;
   }
 

@@ -53,6 +53,12 @@ struct ReplayResult {
   std::uint64_t flows_started = 0;
   /// Engine effort indicator: rate recomputations performed.
   std::uint64_t rate_recomputes = 0;
+  /// Per-level flow attribution (message counts / payload bytes): which
+  /// hierarchy level carried the traffic. `intra` is the membus copy path,
+  /// `inter` the NIC path, `shm` the single-copy channel (CostModel::
+  /// shm_tag). intra + inter + shm == messages.
+  std::uint64_t intra_messages = 0, inter_messages = 0, shm_messages = 0;
+  std::uint64_t intra_bytes = 0, inter_bytes = 0, shm_bytes = 0;
 };
 
 /// Replay `sched` (with its match result) mapped onto `topo` under `cost`.
@@ -90,6 +96,9 @@ struct ConcurrentReplayResult {
   std::uint64_t flows_started = 0;
   /// Engine effort indicator: rate recomputations performed.
   std::uint64_t rate_recomputes = 0;
+  /// Per-level flow attribution over all jobs (see ReplayResult).
+  std::uint64_t intra_messages = 0, inter_messages = 0, shm_messages = 0;
+  std::uint64_t intra_bytes = 0, inter_bytes = 0, shm_bytes = 0;
 };
 
 /// Replay many schedules concurrently on one topology. Jobs become active

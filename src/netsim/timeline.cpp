@@ -52,6 +52,13 @@ std::string render_timeline(const trace::Schedule& sched, const ReplayResult& re
   if (shown < sched.nranks) {
     out += "  ... (" + std::to_string(sched.nranks - shown) + " more ranks)\n";
   }
+  // Per-level flow attribution: which hierarchy level carried the bytes.
+  out += "flows: intra " + std::to_string(result.intra_messages) + " msgs/" +
+         std::to_string(result.intra_bytes) + " B, inter " +
+         std::to_string(result.inter_messages) + " msgs/" +
+         std::to_string(result.inter_bytes) + " B, shm " +
+         std::to_string(result.shm_messages) + " msgs/" +
+         std::to_string(result.shm_bytes) + " B\n";
   return out;
 }
 

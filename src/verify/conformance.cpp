@@ -2,6 +2,7 @@
 
 #include "bsbutil/error.hpp"
 #include "bsbutil/math.hpp"
+#include "coll/hier/topology.hpp"
 #include "coll/scatter_binomial.hpp"
 #include "comm/chunks.hpp"
 #include "comm/topology.hpp"
@@ -132,6 +133,72 @@ RankCounts per_rank_expectation(const FuzzCase& c) {
         BSB_ASSERT(false, "per_rank_expectation: variant has no per-rank form");
     }
     out[static_cast<std::size_t>(r)] = {sends, recvs};
+  }
+  return out;
+}
+
+/// Per-rank (sends, recvs) of the binomial scatter over a group of `L`
+/// ranks at relative rank `rel` — the same closed-form walk
+/// scatter_binomial performs, including the zero-byte suppression.
+std::pair<std::uint64_t, std::uint64_t> scatter_rank_counts(
+    int rel, int L, std::uint64_t nbytes) {
+  const ChunkLayout layout(nbytes, L);
+  const auto s = static_cast<std::int64_t>(layout.scatter_size());
+  const auto total = static_cast<std::int64_t>(nbytes);
+  std::int64_t curr = rel == 0 ? total : 0;
+  std::uint64_t recvs = 0;
+  int mask = 1;
+  while (mask < L) {
+    if (rel & mask) {
+      if (total - rel * s > 0) {
+        recvs = 1;
+        curr = std::min<std::int64_t>(total - rel * s,
+                                      static_cast<std::int64_t>(mask) * s);
+      }
+      break;
+    }
+    mask <<= 1;
+  }
+  std::uint64_t sends = 0;
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if (rel + mask >= L) continue;
+    const std::int64_t send_size = curr - static_cast<std::int64_t>(mask) * s;
+    if (send_size > 0) {
+      ++sends;
+      curr -= send_size;
+    }
+  }
+  return {sends, recvs};
+}
+
+/// Exact per-rank (sends, recvs) of the hierarchical broadcast: non-leaders
+/// see exactly the one single-copy delivery; a leader adds its scatter walk
+/// and ring plan over the leader group plus (node_size - 1) fan-out sends.
+RankCounts hier_per_rank_expectation(const FuzzCase& c,
+                                     const hier::Topology& topo) {
+  const int P = c.nranks;
+  const int L = topo.num_nodes();
+  const int leader_root = topo.node_of(c.root);
+  RankCounts out(static_cast<std::size_t>(P), {0, 1});
+  for (int n = 0; n < L; ++n) {
+    const int leader = topo.leader_of(n, c.root);
+    std::uint64_t sends = static_cast<std::uint64_t>(topo.node_size(n) - 1);
+    std::uint64_t recvs = 0;
+    if (L > 1) {
+      const int lrel = rel_rank(n, leader_root, L);
+      const auto [ss, sr] = scatter_rank_counts(lrel, L, c.nbytes);
+      sends += ss;
+      recvs += sr;
+      if (c.use_tuned_ring) {
+        const core::RingPlan plan = core::compute_ring_plan(lrel, L);
+        sends += static_cast<std::uint64_t>(core::tuned_sends(plan, L));
+        recvs += static_cast<std::uint64_t>(core::tuned_recvs(plan, L));
+      } else {
+        sends += static_cast<std::uint64_t>(L - 1);
+        recvs += static_cast<std::uint64_t>(L - 1);
+      }
+    }
+    out[static_cast<std::size_t>(leader)] = {sends, recvs};
   }
   return out;
 }
@@ -392,6 +459,26 @@ TransferExpectation expected_transfers(const FuzzCase& c) {
           *one.total_sends * static_cast<std::uint64_t>(fuzz::kIbcastDepth);
       return e;
     }
+    case Variant::BcastHier: {
+      // The leader phase IS the flat scatter-ring at P = #leaders; the
+      // intra phase is one single-copy delivery per non-leader, so the
+      // tuned hier broadcast ships zero redundant bytes and the native one
+      // wastes exactly the leader-group ring excess.
+      const hier::Topology topo(c.node_sizes);
+      const int L = topo.num_nodes();
+      e.total_sends =
+          core::hier_bcast_transfers(P, L, c.nbytes, c.use_tuned_ring);
+      if (c.use_tuned_ring || L == 1) {
+        e.redundant_bytes = 0;
+        e.redundant_msgs = 0;
+      } else {
+        const Redundancy red = native_ring_redundancy(L, c.nbytes);
+        e.redundant_bytes = red.bytes;
+        e.redundant_msgs = red.msgs;
+      }
+      e.per_rank_counts = hier_per_rank_expectation(c, topo);
+      return e;
+    }
   }
   BSB_ASSERT(false, "expected_transfers: unknown variant");
 }
@@ -408,6 +495,7 @@ std::vector<IntervalSet> initial_coverage(const FuzzCase& c) {
     case Variant::BcastSmp:
     case Variant::BcastAuto:
     case Variant::BcastPersistent:
+    case Variant::BcastHier:
     case Variant::IbcastConcurrent:
       // For IbcastConcurrent this states the PRIMARY buffer's contract;
       // dataflow is skipped anyway (foreign companion offsets).

@@ -320,6 +320,32 @@ void closed_form_density_check(int pmax, SweepReport* report) {
     if (core::allreduce_rsag_tuned_transfers(P) != 2 * native) {
       fail("P=" + std::to_string(P) + ": allreduce tuned != 2P(P-1)");
     }
+    // Hierarchical identities: the leader phase IS the flat formula at
+    // P = #leaders (scatter L-1 when no chunk is suppressed, plus the
+    // native/tuned ring), and the intra phase is exactly one single-copy
+    // delivery per non-leader.
+    for (const int L : std::set<int>{1, 2, (P + 1) / 2, P}) {
+      if (L < 1 || L > P) continue;
+      // An exact multiple of L keeps every scatter chunk non-empty; a fixed
+      // size would suppress the tail chunk once ceil(n/L)*(L-1) >= n.
+      const std::uint64_t big = static_cast<std::uint64_t>(L) << 10;
+      const std::uint64_t edges = L == 1 ? 0 : static_cast<std::uint64_t>(L - 1);
+      const std::uint64_t want_native =
+          L == 1 ? 0 : edges + core::native_ring_transfers(L);
+      const std::uint64_t want_tuned =
+          L == 1 ? 0 : edges + core::tuned_ring_transfers(L);
+      if (core::hier_inter_transfers(L, big, false) != want_native ||
+          core::hier_inter_transfers(L, big, true) != want_tuned) {
+        fail("P=" + std::to_string(P) + " L=" + std::to_string(L) +
+             ": hier inter-node counts != flat leader-group forms");
+      }
+      if (core::hier_bcast_transfers(P, L, big, true) !=
+          want_tuned + static_cast<std::uint64_t>(P - L)) {
+        fail("P=" + std::to_string(P) + " L=" + std::to_string(L) +
+             ": hier total != inter + one copy per non-leader");
+      }
+      report->proofs += 2;
+    }
     report->proofs += 8;
   }
   // The paper's Section IV anchors.
@@ -327,6 +353,26 @@ void closed_form_density_check(int pmax, SweepReport* report) {
     int P;
     std::uint64_t native, tuned;
   };
+  // Hier anchors derived from them: a leader group of 8 (resp. 10) moves
+  // 7 + 56 = 63 native / 7 + 44 = 51 tuned inter-node messages (resp.
+  // 99 -> 84) when no scatter chunk is suppressed.
+  struct HierAnchor {
+    int L;
+    std::uint64_t native, tuned;
+  };
+  for (const HierAnchor a : {HierAnchor{8, 63, 51}, HierAnchor{10, 99, 84}}) {
+    if (a.L > pmax) continue;
+    const std::uint64_t big = std::uint64_t{1} << 20;
+    if (core::hier_inter_transfers(a.L, big, false) != a.native ||
+        core::hier_inter_transfers(a.L, big, true) != a.tuned) {
+      fail("hier anchor L=" + std::to_string(a.L) + ": expected " +
+           std::to_string(a.native) + " -> " + std::to_string(a.tuned) +
+           ", closed forms give " +
+           std::to_string(core::hier_inter_transfers(a.L, big, false)) + " -> " +
+           std::to_string(core::hier_inter_transfers(a.L, big, true)));
+    }
+    report->proofs += 1;
+  }
   for (const Anchor a : {Anchor{8, 56, 44}, Anchor{10, 90, 75}}) {
     if (a.P > pmax) continue;
     if (core::native_ring_transfers(a.P) != a.native ||
@@ -377,6 +423,32 @@ std::vector<int> roots_for(int P, int all_roots_upto) {
     sample = {0};  // quadratic schedules: one root keeps the sweep bounded
   }
   return {sample.begin(), sample.end()};
+}
+
+/// Node-shape configurations the hier sweep proves per (P, root, nbytes):
+/// uniform 4/node (ragged last node when 4 does not divide P), a 1-core
+/// node wedged before bigger ones, the all-singleton degenerate shape
+/// (every rank leads: the flat ring re-emerges), a single node (pure
+/// fan-out), and one native-ring case for the redundancy accounting.
+struct HierShape {
+  std::vector<int> node_sizes;  // empty = uniform from smp_cores_per_node
+  bool tuned = true;
+};
+
+std::vector<HierShape> hier_shapes(int P) {
+  std::vector<HierShape> shapes;
+  shapes.push_back({{}, true});
+  if (P >= 3) {
+    std::vector<int> wedge{1};
+    for (int left = P - 1; left > 0; left -= 5) {
+      wedge.push_back(std::min(5, left));
+    }
+    shapes.push_back({std::move(wedge), true});
+  }
+  shapes.push_back({std::vector<int>(static_cast<std::size_t>(P), 1), true});
+  shapes.push_back({{P}, true});
+  shapes.push_back({{}, false});
+  return shapes;
 }
 
 FuzzCase sweep_case(Variant v, int P, int root, std::uint64_t nbytes) {
@@ -446,7 +518,15 @@ SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
       for (const std::uint64_t nbytes : opt.sizes) {
         for (const int root : roots) {
           if (rootless && root != roots.front()) continue;
-          const FuzzCase c = sweep_case(v, P, root, nbytes);
+          std::vector<HierShape> shapes{{}};
+          if (v == Variant::BcastHier) shapes = hier_shapes(P);
+          for (const HierShape& shape : shapes) {
+          FuzzCase c = sweep_case(v, P, root, nbytes);
+          if (v == Variant::BcastHier) {
+            c.node_sizes = shape.node_sizes;
+            c.use_tuned_ring = shape.tuned;
+            c = fuzz::normalize_case(std::move(c));
+          }
           const CaseResult res = verify_case(c, vopt);
           const auto vi = static_cast<std::size_t>(c.variant);
           ++report.cases;
@@ -466,6 +546,7 @@ SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
             out << "FAIL " << res.summary() << "\n";
           } else if (opt.verbose) {
             out << "  ok " << res.summary() << "\n";
+          }
           }
         }
       }
@@ -526,6 +607,13 @@ void write_verify_json(const std::string& path, const SweepOptions& opt,
     << core::allreduce_rsag_native_transfers(10)
     << ", \"p10_allreduce_tuned\": "
     << core::allreduce_rsag_tuned_transfers(10) << "},\n";
+  const std::uint64_t big = std::uint64_t{1} << 20;
+  f << "  \"hier\": {\"l8_inter_native\": "
+    << core::hier_inter_transfers(8, big, false)
+    << ", \"l8_inter_tuned\": " << core::hier_inter_transfers(8, big, true)
+    << ", \"l10_inter_native\": " << core::hier_inter_transfers(10, big, false)
+    << ", \"l10_inter_tuned\": " << core::hier_inter_transfers(10, big, true)
+    << "},\n";
   f << "  \"per_variant\": {";
   bool first = true;
   for (const Variant v : fuzz::all_variants()) {

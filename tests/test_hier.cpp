@@ -1,0 +1,268 @@
+// Tests for the hierarchical collective subsystem (src/coll/hier/):
+// hier::Topology's ragged node shapes and root-aware leader election,
+// bcast_hier's byte-exact delivery and closed-form message counts, and the
+// ragged bcast_smp overload. Property style: randomized node shapes from a
+// fixed seed, partition/leader invariants at every P up to 1024, threaded
+// byte oracles at the sizes a World can carry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bsbutil/error.hpp"
+#include "bsbutil/rng.hpp"
+#include "coll/bcast_smp.hpp"
+#include "coll/hier/bcast_hier.hpp"
+#include "coll/hier/topology.hpp"
+#include "core/bcast_scatter_ring_tuned.hpp"
+#include "core/transfer_analysis.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
+#include "trace/record.hpp"
+#include "trace/schedule.hpp"
+
+namespace bsb {
+namespace {
+
+/// A random ragged shape with `nranks` total ranks (deterministic in rng).
+std::vector<int> random_shape(SplitMix64& rng, int nranks) {
+  std::vector<int> sizes;
+  int left = nranks;
+  while (left > 0) {
+    const int s = 1 + static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(std::min(left, 9))));
+    sizes.push_back(s);
+    left -= s;
+  }
+  return sizes;
+}
+
+// ---------------------------------------------------------- hier::Topology
+
+TEST(HierTopology, PartitionInvariantsAcrossRandomShapesToP1024) {
+  SplitMix64 rng(0x70b01ULL);
+  for (int trial = 0; trial < 64; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(1023));
+    const hier::Topology topo(random_shape(rng, P));
+    ASSERT_EQ(topo.nranks(), P);
+    int sum = 0;
+    for (int n = 0; n < topo.num_nodes(); ++n) {
+      ASSERT_GE(topo.node_size(n), 1);
+      ASSERT_EQ(topo.node_begin(n), sum);
+      const std::vector<int> ranks = topo.ranks_on_node(n);
+      ASSERT_EQ(static_cast<int>(ranks.size()), topo.node_size(n));
+      for (int i = 0; i < topo.node_size(n); ++i) {
+        ASSERT_EQ(ranks[static_cast<std::size_t>(i)], sum + i);
+        ASSERT_EQ(topo.node_of(sum + i), n);
+      }
+      sum += topo.node_size(n);
+    }
+    ASSERT_EQ(sum, P);
+  }
+}
+
+TEST(HierTopology, RootAwareLeaderElectionProperties) {
+  SplitMix64 rng(0x1eade5ULL);
+  for (int trial = 0; trial < 64; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(1023));
+    const hier::Topology topo(random_shape(rng, P));
+    const int root = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(P)));
+    const std::vector<int> leaders = topo.leaders(root);
+    ASSERT_EQ(static_cast<int>(leaders.size()), topo.num_nodes());
+    int leader_count = 0;
+    for (int r = 0; r < P; ++r) leader_count += topo.is_leader(r, root);
+    ASSERT_EQ(leader_count, topo.num_nodes());
+    for (int n = 0; n < topo.num_nodes(); ++n) {
+      const int lead = topo.leader_of(n, root);
+      ASSERT_EQ(leaders[static_cast<std::size_t>(n)], lead);
+      ASSERT_EQ(topo.node_of(lead), n);
+      if (n == topo.node_of(root)) {
+        ASSERT_EQ(lead, root);  // the root leads its own node
+      } else {
+        ASSERT_EQ(lead, topo.node_begin(n));  // lowest rank elsewhere
+      }
+      if (n > 0) {
+        ASSERT_GT(lead, leaders[static_cast<std::size_t>(n - 1)]);
+      }
+    }
+  }
+}
+
+TEST(HierTopology, UniformAndStringRoundTrip) {
+  const hier::Topology u = hier::Topology::uniform(11, 4);
+  EXPECT_EQ(u.to_string(), "4,4,3");
+  const hier::Topology parsed = hier::Topology::from_string("4,4,3");
+  EXPECT_EQ(parsed.nranks(), 11);
+  EXPECT_EQ(parsed.num_nodes(), 3);
+
+  SplitMix64 rng(0x57717ULL);
+  for (int trial = 0; trial < 32; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(200));
+    const hier::Topology topo(random_shape(rng, P));
+    const hier::Topology again = hier::Topology::from_string(topo.to_string());
+    EXPECT_EQ(again.node_sizes(), topo.node_sizes());
+  }
+}
+
+TEST(HierTopology, RejectsBadShapes) {
+  EXPECT_THROW(hier::Topology(std::vector<int>{}), PreconditionError);
+  EXPECT_THROW(hier::Topology(std::vector<int>{3, 0, 2}), PreconditionError);
+  EXPECT_THROW(hier::Topology::from_string(""), PreconditionError);
+  EXPECT_THROW(hier::Topology::from_string("4,x"), PreconditionError);
+  EXPECT_THROW(hier::Topology::from_string("4,-1"), PreconditionError);
+}
+
+// ----------------------------------------- closed-form counts (recorded)
+
+std::uint64_t recorded_sends(const trace::Schedule& sched) {
+  std::uint64_t sends = 0;
+  for (const auto& ops : sched.ops) {
+    for (const trace::Op& op : ops) sends += op.has_send();
+  }
+  return sends;
+}
+
+trace::Schedule record_hier(const hier::Topology& topo, std::uint64_t nbytes,
+                            int root, bool tuned) {
+  return trace::record_schedule(
+      topo.nranks(), nbytes, [&](Comm& comm, std::span<std::byte> buf) {
+        if (tuned) {
+          core::bcast_hier_tuned(comm, buf, root, topo);
+        } else {
+          core::bcast_hier_native(comm, buf, root, topo);
+        }
+      });
+}
+
+TEST(BcastHier, RecordedCountsMatchClosedFormsToP1024) {
+  // No threads: recording scales to the acceptance sizes. Random ragged
+  // shapes and roots; both ring flavours against their closed forms.
+  SplitMix64 rng(0xc0047ULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(1023));
+    const hier::Topology topo(random_shape(rng, P));
+    const int L = topo.num_nodes();
+    const int root = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(P)));
+    const std::uint64_t nbytes = 1 + rng.next_below(1 << 16);
+    for (const bool tuned : {false, true}) {
+      const trace::Schedule sched = record_hier(topo, nbytes, root, tuned);
+      ASSERT_EQ(recorded_sends(sched),
+                core::hier_bcast_transfers(P, L, nbytes, tuned))
+          << "P=" << P << " nodes=" << topo.to_string() << " root=" << root
+          << " nbytes=" << nbytes << " tuned=" << tuned;
+      // Non-leaders: one fan-out receive, nothing else.
+      for (int r = 0; r < P; ++r) {
+        if (topo.is_leader(r, root)) continue;
+        ASSERT_EQ(sched.ops[static_cast<std::size_t>(r)].size(), 1u);
+        ASSERT_TRUE(sched.ops[static_cast<std::size_t>(r)][0].has_recv());
+      }
+    }
+  }
+}
+
+TEST(BcastHier, DegenerateShapesFoldIntoFlatAlgorithms) {
+  const std::uint64_t nbytes = 4096;
+  // One node: a pure fan-out, P - 1 messages.
+  const hier::Topology one_node({7});
+  EXPECT_EQ(recorded_sends(record_hier(one_node, nbytes, 3, true)), 6u);
+  // All-singleton nodes: exactly the flat scatter + tuned-ring broadcast.
+  const int P = 10;
+  const hier::Topology singletons(std::vector<int>(P, 1));
+  EXPECT_EQ(recorded_sends(record_hier(singletons, nbytes, 0, true)),
+            core::scatter_transfers(P, nbytes) + core::tuned_ring_transfers(P));
+  EXPECT_EQ(recorded_sends(record_hier(singletons, nbytes, 0, false)),
+            core::scatter_transfers(P, nbytes) + core::native_ring_transfers(P));
+}
+
+TEST(BcastHier, TunedNeverSendsMoreThanNative) {
+  SplitMix64 rng(0x5a41ULL);
+  for (int trial = 0; trial < 16; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(500));
+    const hier::Topology topo(random_shape(rng, P));
+    const std::uint64_t nbytes = 1 << 15;
+    const std::uint64_t native =
+        core::hier_bcast_transfers(P, topo.num_nodes(), nbytes, false);
+    const std::uint64_t tuned =
+        core::hier_bcast_transfers(P, topo.num_nodes(), nbytes, true);
+    ASSERT_LE(tuned, native);
+    if (topo.num_nodes() > 2) {
+      ASSERT_LT(tuned, native);
+    }
+  }
+}
+
+// ------------------------------------------------- byte-exact (threaded)
+
+void run_hier_oracle(const std::vector<int>& shape, int root, bool tuned,
+                     std::uint64_t nbytes, std::uint64_t seed) {
+  const hier::Topology topo(shape);
+  mpisim::World world(topo.nranks());
+  world.run([&](mpisim::ThreadComm& comm) {
+    std::vector<std::byte> buf(nbytes);
+    fill_pattern(buf, ~seed);  // garbage
+    if (comm.rank() == root) fill_pattern(buf, seed);
+    core::HierBcastOptions opt;
+    opt.tuned = tuned;
+    core::bcast_hier(comm, buf, root, topo, opt);
+    ASSERT_EQ(first_pattern_mismatch(buf, seed), buf.size())
+        << "shape=" << topo.to_string() << " root=" << root
+        << " tuned=" << tuned << " rank=" << comm.rank();
+  });
+}
+
+TEST(BcastHier, ByteExactOnRandomRaggedShapes) {
+  SplitMix64 rng(0xb17e5ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(39));
+    const std::vector<int> shape = random_shape(rng, P);
+    const int root = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(P)));
+    const std::uint64_t nbytes = 1 + rng.next_below(40000);
+    run_hier_oracle(shape, root, trial % 2 == 0, nbytes,
+                    1000 + static_cast<std::uint64_t>(trial));
+  }
+}
+
+TEST(BcastHier, ByteExactEveryRootOnAWedgeShape) {
+  // 1-core node ahead of bigger ones: every root exercises a different
+  // leader set (the root-leads-its-node election moves one leader around).
+  const std::vector<int> shape{1, 5, 3, 2};
+  for (int root = 0; root < 11; ++root) {
+    run_hier_oracle(shape, root, true, 12288,
+                    500 + static_cast<std::uint64_t>(root));
+  }
+}
+
+// -------------------------------------------------- ragged bcast_smp
+
+TEST(BcastSmp, RaggedTopologyOverloadIsByteExact) {
+  SplitMix64 rng(0x53b9ULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(30));
+    const std::vector<int> shape = random_shape(rng, P);
+    const hier::Topology topo(shape);
+    const int root = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(P)));
+    const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(trial);
+    mpisim::World world(P);
+    world.run([&](mpisim::ThreadComm& comm) {
+      std::vector<std::byte> buf(9001);
+      fill_pattern(buf, ~seed);
+      if (comm.rank() == root) fill_pattern(buf, seed);
+      coll::bcast_smp(comm, buf, root, topo,
+                      [](Comm& c, std::span<std::byte> b, int r) {
+                        core::bcast_scatter_ring_tuned(c, b, r);
+                      });
+      ASSERT_EQ(first_pattern_mismatch(buf, seed), buf.size())
+          << "shape=" << topo.to_string() << " root=" << root
+          << " rank=" << comm.rank();
+    });
+  }
+}
+
+}  // namespace
+}  // namespace bsb

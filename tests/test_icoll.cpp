@@ -64,11 +64,12 @@ TEST(Plan, BlockingReplayMatchesDirectRun) {
   const int P = 10;
   const std::uint64_t nbytes = 30000;
   auto plan = core::bcast_plan(P, nbytes, /*root=*/4);
+  EXPECT_EQ(plan->root, 0);  // root-canonical: compiled once, rotated at use
   mpisim::World world(P);
   world.run([&](mpisim::ThreadComm& comm) {
     std::vector<std::byte> buf(nbytes);
     if (comm.rank() == 4) fill_pattern(buf, 77);
-    coll::execute_plan_rank(comm, *plan, comm.rank(), buf);
+    coll::execute_plan_rank(comm, *plan, comm.rank(), buf, /*root=*/4);
     EXPECT_EQ(first_pattern_mismatch(buf, 77), buf.size());
   });
 }
@@ -470,10 +471,10 @@ TEST(Ibcast, SteadyStateHitsTheScheduleCache) {
     }
   });
   const auto s = coll::process_schedule_cache().stats();
-  // 4 distinct keys (roots); every other lookup across 8 ranks x 25 iters
-  // hits. Steady-state hit rate far above the 90% serving bar.
-  EXPECT_EQ(s.misses, 4u);
-  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(P) * 25 - 4);
+  // ONE key: the four roots canonicalize to the same root-0 plan, so only
+  // the very first lookup across 8 ranks x 25 iters compiles anything.
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(P) * 25 - 1);
   EXPECT_GE(s.hit_rate(), 0.9);
 }
 
@@ -496,6 +497,39 @@ TEST(PersistentBcastOnPlan, SharesTheProcessCache) {
   auto cached = core::bcast_plan(P, nbytes, 0);
   EXPECT_EQ(coll::process_schedule_cache().stats().misses, 1u);
   EXPECT_EQ(cached->name, std::string("scatter+ring-allgather(tuned)"));
+  // Root canonicalization: EVERY root of the shape resolves to that same
+  // plan object — no per-root compilations.
+  for (int root = 1; root < P; ++root) {
+    EXPECT_EQ(core::bcast_plan(P, nbytes, root).get(), cached.get());
+  }
+  EXPECT_EQ(coll::process_schedule_cache().stats().misses, 1u);
+}
+
+TEST(Ibcast, SplitCommsShareOneCanonicalPlan) {
+  // Cross-communicator sharing: three disjoint 4-rank groups broadcast the
+  // same-shaped buffer from DIFFERENT roots. The root-canonical cache key
+  // (P, 0, nbytes, algo) makes all of them — across groups, roots and
+  // iterations — reuse a single compiled plan.
+  coll::process_schedule_cache().clear();
+  const int P = 12;
+  const std::uint64_t nbytes = 9000;
+  mpisim::World world(P);
+  world.run([&](mpisim::ThreadComm& comm) {
+    auto sub = coll::comm_split(comm, comm.rank() % 3, comm.rank(),
+                                /*base_context=*/1);
+    ASSERT_TRUE(sub.has_value());
+    const int group = comm.rank() % 3;
+    const int root = group;  // group g broadcasts from sub rank g
+    const std::uint64_t seed = 700 + static_cast<std::uint64_t>(group);
+    std::vector<std::byte> buf(nbytes);
+    fill_pattern(buf, ~seed);
+    if (sub->rank() == root) fill_pattern(buf, seed);
+    core::ibcast(*sub, buf, root).wait();
+    EXPECT_EQ(first_pattern_mismatch(buf, seed), buf.size());
+  });
+  const auto s = coll::process_schedule_cache().stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 11u);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 // determinism, and deadlock diagnosis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "bsbutil/rng.hpp"
 #include "coll/bcast_binomial.hpp"
@@ -755,6 +757,240 @@ TEST(Replay, MoreRanksPerNodeMeansMoreMembusContention) {
   const auto spread =
       replay_schedule(sched, m, Topology(P, 8, Placement::Block), cost);
   EXPECT_GT(packed.makespan, spread.makespan * 0.9);
+}
+
+// ---------------------------------------------------- replay: shm channel
+
+/// unit_cost() with the XPMEM-style single-copy channel switched on for
+/// tag 0 (the tag two_rank_send uses): handoff 1us, 1 GB/s per mapping,
+/// 2 GB/s per source node.
+CostModel shm_cost() {
+  CostModel m = unit_cost();
+  m.alpha_shm = 1e-6;
+  m.bw_flow_shm = 1e9;
+  m.bw_shm_node = 2e9;
+  m.shm_tag = 0;
+  return m;
+}
+
+/// Rank 0 sends bytes[i] to rank 1 + i, all with `tag`.
+trace::Schedule fanout_schedule(const std::vector<std::uint64_t>& bytes,
+                                int tag) {
+  trace::Schedule s;
+  s.nranks = 1 + static_cast<int>(bytes.size());
+  s.nbytes = *std::max_element(bytes.begin(), bytes.end());
+  s.ops.resize(static_cast<std::size_t>(s.nranks));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    trace::Op snd;
+    snd.kind = trace::OpKind::Send;
+    snd.dst = 1 + static_cast<int>(i);
+    snd.send_tag = tag;
+    snd.send_bytes = bytes[i];
+    snd.send_off = 0;
+    s.ops[0].push_back(snd);
+    trace::Op rcv;
+    rcv.kind = trace::OpKind::Recv;
+    rcv.src = 0;
+    rcv.recv_tag = tag;
+    rcv.recv_cap = bytes[i];
+    rcv.recv_off = 0;
+    s.ops[1 + i] = {rcv};
+  }
+  return s;
+}
+
+TEST(ReplayShm, SingleCopyClosedForm) {
+  // 50 KB intra-node message on the shm channel: the sender is freed the
+  // moment it posts (o_send, no injection copy), the mapping hand-off costs
+  // alpha_shm, the payload streams at bw_flow_shm, and the receiver pays no
+  // copy-out — one copy end to end.
+  const std::uint64_t B = 50000;
+  const auto sched = two_rank_send(B);
+  const auto m = trace::match_schedule(sched);
+  const CostModel cost = shm_cost();
+  const auto res = replay_schedule(sched, m, Topology::single_node(2), cost);
+  EXPECT_EQ(res.messages, 1u);
+  EXPECT_EQ(res.flows_started, 1u);
+  EXPECT_EQ(res.shm_messages, 1u);
+  EXPECT_EQ(res.shm_bytes, B);
+  EXPECT_EQ(res.intra_messages, 0u);
+  EXPECT_EQ(res.inter_messages, 0u);
+  expect_close(res.rank_finish[0], cost.o_send);
+  const double start = std::max(cost.o_send, cost.o_recv) + cost.alpha_shm;
+  expect_close(res.rank_finish[1], start + B / cost.bw_flow_shm);
+  expect_close(res.makespan, res.rank_finish[1]);
+  // Host time is the posting overheads alone: no inject, no copy-out.
+  expect_close(res.cpu_busy[0], cost.o_send);
+  expect_close(res.cpu_busy[1], cost.o_recv);
+}
+
+TEST(ReplayShm, TakesPrecedenceOverEagerAndHandlesZeroBytes) {
+  const CostModel cost = shm_cost();
+  // 800 B is under the eager threshold, but the shm tag wins: the message
+  // still rides the mapping (a flow), not the eager inject path.
+  {
+    const auto sched = two_rank_send(800);
+    const auto m = trace::match_schedule(sched);
+    const auto res = replay_schedule(sched, m, Topology::single_node(2), cost);
+    EXPECT_EQ(res.shm_messages, 1u);
+    EXPECT_EQ(res.flows_started, 1u);
+    expect_close(res.rank_finish[0], cost.o_send);
+    const double start = std::max(cost.o_send, cost.o_recv) + cost.alpha_shm;
+    expect_close(res.rank_finish[1], start + 800 / cost.bw_flow_shm);
+  }
+  // Zero payload: delivered at the hand-off itself, no flow.
+  {
+    const auto sched = two_rank_send(0);
+    const auto m = trace::match_schedule(sched);
+    const auto res = replay_schedule(sched, m, Topology::single_node(2), cost);
+    EXPECT_EQ(res.shm_messages, 1u);
+    EXPECT_EQ(res.flows_started, 0u);
+    expect_close(res.rank_finish[1],
+                 std::max(cost.o_send, cost.o_recv) + cost.alpha_shm);
+  }
+}
+
+TEST(ReplayShm, DisabledOrMismatchedTagReplaysIdentically) {
+  // shm_tag = -1 (channel off) and shm_tag != message tag must both take
+  // the ordinary rendezvous path, bit-identically.
+  const auto sched = two_rank_send(50000);
+  const auto m = trace::match_schedule(sched);
+  const Topology topo = Topology::single_node(2);
+  const auto off = replay_schedule(sched, m, topo, unit_cost());
+  CostModel mismatch = shm_cost();
+  mismatch.shm_tag = 7;  // two_rank_send uses tag 0
+  const auto miss = replay_schedule(sched, m, topo, mismatch);
+  EXPECT_EQ(off.shm_messages, 0u);
+  EXPECT_EQ(miss.shm_messages, 0u);
+  EXPECT_EQ(off.makespan, miss.makespan);
+  EXPECT_EQ(off.rank_finish, miss.rank_finish);
+  EXPECT_EQ(off.cpu_busy, miss.cpu_busy);
+}
+
+TEST(ReplayShm, InterNodeMessagesNeverUseTheChannel) {
+  // Same tag-0 message, but the peers sit on different nodes: shared
+  // memory cannot reach across the fabric, so the NIC path must run
+  // exactly as if the channel were off.
+  const auto sched = two_rank_send(50000);
+  const auto m = trace::match_schedule(sched);
+  const Topology topo(2, 1, Placement::Block);  // two nodes
+  const auto with_shm = replay_schedule(sched, m, topo, shm_cost());
+  const auto without = replay_schedule(sched, m, topo, unit_cost());
+  EXPECT_EQ(with_shm.shm_messages, 0u);
+  EXPECT_EQ(with_shm.inter_messages, 1u);
+  EXPECT_EQ(with_shm.makespan, without.makespan);
+  EXPECT_EQ(with_shm.rank_finish, without.rank_finish);
+}
+
+TEST(ReplayShm, FanOutSharesTheNodeCap) {
+  // Two 10 KB mappings out of one source node with bw_shm_node squeezed to
+  // one flow's worth: while both are live, max-min gives each half.
+  //   posts: send1 at 2us, send2 at 4us, recvs at 3us
+  //   flow1 starts 4us (+1us handoff), alone at 1 GB/s for 1us -> 1 KB out
+  //   flow2 starts 5us; both at 0.5 GB/s; flow1's 9 KB takes 18us -> 23us
+  //   flow2 then finishes its last 1 KB alone at 1 GB/s -> 24us
+  const std::uint64_t B = 10000;
+  const auto sched = fanout_schedule({B, B}, /*tag=*/0);
+  const auto m = trace::match_schedule(sched);
+  CostModel cost = shm_cost();
+  cost.bw_shm_node = 1e9;
+  const auto res = replay_schedule(sched, m, Topology::single_node(3), cost);
+  EXPECT_EQ(res.shm_messages, 2u);
+  EXPECT_EQ(res.shm_bytes, 2 * B);
+  expect_close(res.rank_finish[0], 2 * cost.o_send);
+  expect_close(res.rank_finish[1], 23e-6);
+  expect_close(res.rank_finish[2], 24e-6);
+  // With the node cap back at two flows' worth there is no contention:
+  // each mapping streams at its private 1 GB/s.
+  const auto wide = replay_schedule(sched, m, Topology::single_node(3),
+                                    shm_cost());
+  expect_close(wide.rank_finish[1], 14e-6);  // start 4us + 10us stream
+  expect_close(wide.rank_finish[2], 15e-6);  // start 5us + 10us stream
+}
+
+TEST(ReplayShm, ChannelIsIndependentOfMembusTraffic) {
+  // One node, four ranks: a tag-0 shm pair next to a tag-1 rendezvous
+  // pair. The shm channel owns its own resource, the rendezvous copy runs
+  // on the membus — neither slows the other, so every rank finishes
+  // exactly when it does in its solo two-rank replay.
+  const std::uint64_t B = 40000;
+  trace::Schedule s;
+  s.nranks = 4;
+  s.nbytes = B;
+  s.ops.resize(4);
+  auto push_pair = [&](int src, int dst, int tag) {
+    trace::Op snd;
+    snd.kind = trace::OpKind::Send;
+    snd.dst = dst;
+    snd.send_tag = tag;
+    snd.send_bytes = B;
+    snd.send_off = 0;
+    trace::Op rcv;
+    rcv.kind = trace::OpKind::Recv;
+    rcv.src = src;
+    rcv.recv_tag = tag;
+    rcv.recv_cap = B;
+    rcv.recv_off = 0;
+    s.ops[static_cast<std::size_t>(src)] = {snd};
+    s.ops[static_cast<std::size_t>(dst)] = {rcv};
+  };
+  push_pair(0, 1, /*tag=*/0);  // shm
+  push_pair(2, 3, /*tag=*/1);  // intra-node rendezvous
+  const auto m = trace::match_schedule(s);
+  const CostModel cost = shm_cost();
+  const auto combined = replay_schedule(s, m, Topology::single_node(4), cost);
+  EXPECT_EQ(combined.shm_messages, 1u);
+  EXPECT_EQ(combined.intra_messages, 1u);
+
+  const auto shm_solo =
+      replay_schedule(two_rank_send(B), trace::match_schedule(two_rank_send(B)),
+                      Topology::single_node(2), cost);
+  trace::Schedule rv = two_rank_send(B);
+  rv.ops[0][0].send_tag = 1;
+  rv.ops[1][0].recv_tag = 1;
+  const auto rv_solo = replay_schedule(rv, trace::match_schedule(rv),
+                                       Topology::single_node(2), cost);
+  expect_close(combined.rank_finish[0], shm_solo.rank_finish[0]);
+  expect_close(combined.rank_finish[1], shm_solo.rank_finish[1]);
+  expect_close(combined.rank_finish[2], rv_solo.rank_finish[0]);
+  expect_close(combined.rank_finish[3], rv_solo.rank_finish[1]);
+}
+
+TEST(ReplayShm, RandomizedFanOutConservation) {
+  // Fluid-conservation property over random single-node fan-outs: the
+  // attribution ledger matches the schedule exactly, and the makespan is
+  // bounded below by every per-mapping stream time and by draining the
+  // total payload through the node cap.
+  SplitMix64 rng(0x5b3aULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int nrecv = 1 + static_cast<int>(rng.next_below(6));
+    std::vector<std::uint64_t> bytes;
+    std::uint64_t total = 0;
+    for (int i = 0; i < nrecv; ++i) {
+      bytes.push_back(1 + rng.next_below(80000));
+      total += bytes.back();
+    }
+    const auto sched = fanout_schedule(bytes, /*tag=*/0);
+    const auto m = trace::match_schedule(sched);
+    const CostModel cost = shm_cost();
+    const auto res =
+        replay_schedule(sched, m, Topology::single_node(1 + nrecv), cost);
+    ASSERT_EQ(res.shm_messages, static_cast<std::uint64_t>(nrecv));
+    ASSERT_EQ(res.shm_bytes, total);
+    ASSERT_EQ(res.intra_messages + res.inter_messages + res.shm_messages,
+              res.messages);
+    // The first hand-off cannot complete before o_recv + alpha_shm, and
+    // all payload must squeeze through the per-node shm capacity.
+    ASSERT_GE(res.makespan,
+              cost.o_recv + cost.alpha_shm +
+                  static_cast<double>(total) / cost.bw_shm_node - 1e-12);
+    for (const std::uint64_t b : bytes) {
+      ASSERT_GE(res.makespan,
+                static_cast<double>(b) / cost.bw_flow_shm - 1e-12);
+    }
+    // Senders are freed at post: rank 0 is done after its o_sends.
+    expect_close(res.rank_finish[0], nrecv * cost.o_send);
+  }
 }
 
 // ---------------------------------------------------- replay: concurrent

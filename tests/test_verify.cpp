@@ -432,17 +432,17 @@ TEST(Verifier, SkewedAllgathervMatchesClosedFormsAndTunedIsWasteFree) {
 
 // ----------------------------------------------- oracle/verifier agreement
 
-TEST(Verifier, AgreesWithThreadedOracleOn140SeededCases) {
+TEST(Verifier, AgreesWithThreadedOracleOn150SeededCases) {
   // The verifier re-derives each variant's initial-ownership contract and
-  // closed forms independently of the fuzz runner; 100 seeded random
+  // closed forms independently of the fuzz runner; the seeded random
   // configurations keep the two models honest against each other.
-  // (140 draws: the smallest round count covering all 22 variants.)
+  // (150 draws: the smallest round count covering all 23 variants.)
   fuzz::GeneratorOptions gen;
   gen.max_ranks = 16;
   gen.max_bytes = 64 * 1024;
   gen.faults = false;  // faults perturb timing, not schedules
   std::set<fuzz::Variant> seen;
-  for (std::uint64_t i = 0; i < 140; ++i) {
+  for (std::uint64_t i = 0; i < 150; ++i) {
     const fuzz::FuzzCase c = fuzz::sample_case(20260806, i, gen);
     seen.insert(c.variant);
     const fuzz::RunOutcome oracle = fuzz::run_case(c);
@@ -460,6 +460,7 @@ TEST(Verifier, AgreesWithThreadedOracleOn140SeededCases) {
         fuzz::Variant::AllgathervRingNative,
         fuzz::Variant::AllgathervRingTuned,
         fuzz::Variant::AllgatherBruckHier,
+        fuzz::Variant::BcastHier,
         fuzz::Variant::IbcastConcurrent}) {
     EXPECT_TRUE(seen.count(v)) << fuzz::to_string(v);
   }

@@ -48,7 +48,7 @@ void usage(std::ostream& os) {
         "Explicit replay (prints of shrunk reproducers use these):\n"
         "  --variant=NAME --ranks=N [--root=R] [--bytes=B] [--eager=E]\n"
         "  [--segment=S] [--smp-cores=C] [--smsg=B] [--mmsg=B] [--tuned=0|1]\n"
-        "  [--op=sum|max] [--dtype=i32|f64] [--skew-seed=N]\n"
+        "  [--op=sum|max] [--dtype=i32|f64] [--skew-seed=N] [--nodes=4,4,3]\n"
         "  [--fault-seed=N --delay-prob=P --max-delay-us=U --reorder-prob=P\n"
         "   --force-rndv-prob=P --force-eager-prob=P]\n";
 }
@@ -140,6 +140,22 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       ec.red_dtype = *dt;
     } else if (key == "--skew-seed") {
       ec.skew_seed = num();
+    } else if (key == "--nodes") {
+      ec.node_sizes.clear();
+      std::size_t pos = 0;
+      while (pos <= val.size()) {
+        const std::size_t comma = std::min(val.find(',', pos), val.size());
+        const std::string tok = val.substr(pos, comma - pos);
+        char* end = nullptr;
+        const long size = std::strtol(tok.c_str(), &end, 10);
+        if (tok.empty() || *end != '\0' || size < 1) {
+          std::cerr << "--nodes wants a comma-separated size list, got '"
+                    << val << "'\n";
+          return std::nullopt;
+        }
+        ec.node_sizes.push_back(static_cast<int>(size));
+        pos = comma + 1;
+      }
     } else if (key == "--fault-seed") {
       ec.faults.enabled = true;
       ec.faults.seed = num();
@@ -169,6 +185,11 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       return std::nullopt;
     }
     ec.watchdog_seconds = a.harness.gen.watchdog_seconds;
+    if (ec.variant == bsb::fuzz::Variant::BcastHier) {
+      // Refit the node shape (and derive one from --smp-cores if --nodes
+      // was omitted) so the Topology constructor's sum invariant holds.
+      ec = bsb::fuzz::normalize_case(std::move(ec));
+    }
     a.explicit_case = ec;
   }
   return a;

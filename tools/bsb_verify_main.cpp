@@ -57,7 +57,7 @@ void usage(std::ostream& os) {
         "  --selftest          sabotage + broken schedules must be caught\n"
         "  --demo-broken=KIND  verify a deliberately broken schedule and\n"
         "                      exit nonzero; KIND = cycle | race |\n"
-        "                      truncation | redundant-rs\n";
+        "                      truncation | redundant-rs | hier-doublecopy\n";
 }
 
 std::vector<std::uint64_t> parse_u64_list(const std::string& val) {
@@ -234,12 +234,46 @@ int run_selftest(std::ostream& out) {
   expect(agv_clean.ok && agv_clean.redundant_bytes == 0,
          "the tuned skewed allgatherv proves zero redundant bytes");
 
+  bsb::fuzz::FuzzCase hier;
+  hier.variant = bsb::fuzz::Variant::BcastHier;
+  hier.nranks = 11;
+  hier.nbytes = 12288;
+  hier.root = 5;
+  hier.node_sizes = {4, 4, 3};
+  const CaseResult hier_sab = bsb::verify::verify_case(
+      hier, VerifyOptions{}, bsb::fuzz::Sabotage::HierDoubleFanout);
+  expect(!hier_sab.ok && has_failure_with_prefix(hier_sab, "redundancy"),
+         "double-delivered hier fan-out yields a redundancy witness");
+  if (!hier_sab.failures.empty()) {
+    out << "    " << hier_sab.failures.front() << "\n";
+  }
+
+  const CaseResult hier_clean = bsb::verify::verify_case(hier);
+  expect(hier_clean.ok && hier_clean.redundant_bytes == 0,
+         "the ragged-shape tuned hier broadcast proves zero redundant bytes");
+
   out << (bad == 0 ? "selftest: all detectors fired\n"
                    : "selftest: DETECTOR GAPS\n");
   return bad == 0 ? 0 : 1;
 }
 
 int run_demo_broken(const std::string& kind, std::ostream& out) {
+  if (kind == "hier-doublecopy") {
+    // A hier broadcast whose leaders deliver the buffer twice to every
+    // non-leader: values stay correct, but the coverage pass must price
+    // every second delivery as fully redundant and the transfer counts
+    // break against the closed form.
+    bsb::fuzz::FuzzCase c;
+    c.variant = bsb::fuzz::Variant::BcastHier;
+    c.nranks = 11;
+    c.nbytes = 65536;
+    c.root = 5;
+    c.node_sizes = {4, 4, 3};
+    const CaseResult res = bsb::verify::verify_case(
+        c, VerifyOptions{}, bsb::fuzz::Sabotage::HierDoubleFanout);
+    out << res.summary() << "\n";
+    return res.ok ? 0 : 1;
+  }
   if (kind == "redundant-rs") {
     // A blocked reduce_scatter that ships every finished chunk twice: the
     // values stay correct, but the reduce-flow pass must price the second
