@@ -64,16 +64,39 @@ build-asan/tools/bsb-verify --pmax=48
 echo "==== TSan pass (thread backend + progress engine + chaos + matching) ===="
 cmake --preset tsan
 cmake --build --preset tsan --target test_mpisim test_matching test_chaos \
-  test_icoll bsb-fuzz -j "${JOBS}"
+  test_icoll test_hier bsb-fuzz -j "${JOBS}"
+# Fail loudly if the tsan build is stale: every binary we are about to run
+# must exist and be no older than the newest first-party source. A silent
+# skip here would report "TSan clean" for code that was never instrumented.
+NEWEST_SRC="$(find src tests tools -name '*.cpp' -o -name '*.hpp' \
+  | xargs ls -t | head -1)"
+for bin in build-tsan/tests/test_mpisim build-tsan/tests/test_matching \
+           build-tsan/tests/test_chaos build-tsan/tests/test_icoll \
+           build-tsan/tests/test_hier build-tsan/tools/bsb-fuzz; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "check.sh: FATAL: tsan preset build is stale: ${bin} is missing" >&2
+    exit 1
+  fi
+  if [[ "${NEWEST_SRC}" -nt "${bin}" ]]; then
+    echo "check.sh: FATAL: tsan preset build is stale: ${bin} is older" \
+         "than ${NEWEST_SRC}" >&2
+    exit 1
+  fi
+done
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 build-tsan/tests/test_mpisim
 build-tsan/tests/test_matching
 build-tsan/tests/test_chaos
 build-tsan/tests/test_icoll
+build-tsan/tests/test_hier
 build-tsan/tools/bsb-fuzz --time-budget=15 --cases=1000000
 # Concurrent in-flight collectives under TSan: the progress engine's
 # lock-free completion path with three broadcasts per rank at once.
 build-tsan/tools/bsb-fuzz --variant=ibcast-concurrent --ranks=16 \
   --bytes=65536 --root=5 --mmsg=32768 --tuned=1
+# Hier fan-out under TSan: the simulated shm channel's single-copy path
+# over a ragged node shape with a non-leader root.
+build-tsan/tools/bsb-fuzz --variant=bcast-hier --ranks=11 --root=5 \
+  --bytes=65536 --nodes=4,4,3 --tuned=1
 
 echo "check.sh: all green"

@@ -2,8 +2,8 @@
 # Run clang-tidy (profile: .clang-tidy) over the first-party sources using
 # the compile_commands.json exported by the `strict` CMake preset.
 #
-#   scripts/tidy.sh              # whole tree
-#   scripts/tidy.sh src/verify   # one subtree
+#   scripts/tidy.sh                       # whole tree
+#   scripts/tidy.sh src/verify src/coll   # one or more subtrees
 #
 # Exits 0 when clang-tidy is unavailable (CI images without LLVM), after
 # printing how to get it — the strict -Werror build still gates those runs.
@@ -32,15 +32,20 @@ if [[ ! -f build-strict/compile_commands.json ]]; then
   cmake --preset strict
 fi
 
-SCOPE="${1:-}"
+SCOPES=("$@")
 FILES=()
 while IFS= read -r f; do
   FILES+=("$f")
 done < <(find src tests tools bench examples -name '*.cpp' | sort)
-if [[ -n "${SCOPE}" ]]; then
+if [[ ${#SCOPES[@]} -gt 0 ]]; then
   KEPT=()
   for f in "${FILES[@]}"; do
-    [[ "$f" == "${SCOPE}"* ]] && KEPT+=("$f")
+    for scope in "${SCOPES[@]}"; do
+      if [[ "$f" == "${scope}"* ]]; then
+        KEPT+=("$f")
+        break
+      fi
+    done
   done
   FILES=("${KEPT[@]}")
 fi

@@ -10,6 +10,14 @@ anchors (P=8: 68 / 124 -> 112, P=10: 105 / 195 -> 180), and the
 hierarchical leader-group anchors (8 leaders: 63 -> 51 inter-node
 messages, 10 leaders: 99 -> 84), and requires the ownership-aware
 collectives to appear in the per-variant coverage.
+
+Also gates the static-analysis passes section: every pass (rotation
+equivalence, tag-space lint, symbolic resource bounds) must be present
+with all its fields — a missing section is an error, mirroring
+bench_compare.py --require-all — the rotation and bound proofs must have
+run on at least one case with zero failures, and the tag-space lint must
+cover the full ctx range [1, 2046] with the largest remapped tag below
+the 2^16 namespace stride.
 Exit 0 = gate passed.
 """
 
@@ -61,10 +69,19 @@ REQUIRED_KEYS = [
     "paper",
     "family",
     "hier",
+    "passes",
     "per_variant",
     "failed",
     "elapsed_seconds",
 ]
+# Every analysis pass must report every field: a silently absent pass is
+# indistinguishable from "never ran", which is exactly what this gate
+# exists to catch.
+REQUIRED_PASSES = {
+    "rotation": ["cases", "failures", "steps"],
+    "tagspace": ["ok", "base_tags", "contexts", "checks", "max_remapped"],
+    "bounds": ["eager_cases", "eager_failures", "shm_cases", "shm_failures"],
+}
 
 
 def fail(msg: str) -> "int":
@@ -110,9 +127,53 @@ def main(argv: list) -> int:
     for name in REQUIRED_VARIANTS:
         if doc["per_variant"].get(name, {}).get("cases", 0) <= 0:
             return fail(f"variant {name} missing from the sweep coverage")
+
+    passes = doc["passes"]
+    for name, fields in REQUIRED_PASSES.items():
+        if name not in passes:
+            return fail(f"passes section missing pass '{name}'")
+        for field in fields:
+            if field not in passes[name]:
+                return fail(f"pass '{name}' missing field '{field}'")
+    rotation = passes["rotation"]
+    if rotation["cases"] <= 0:
+        return fail("rotation-equivalence pass proved zero cases")
+    if rotation["failures"] != 0:
+        return fail(f"rotation-equivalence: {rotation['failures']} failure(s)")
+    tagspace = passes["tagspace"]
+    if not tagspace["ok"]:
+        return fail(f"tag-space lint failed: {tagspace.get('witnesses')}")
+    if tagspace["contexts"] != 2046:
+        return fail(
+            f"tag-space lint covered ctx range [1, {tagspace['contexts']}], "
+            "expected [1, 2046]"
+        )
+    if tagspace["base_tags"] < 21:
+        return fail(
+            f"tag-space lint saw {tagspace['base_tags']} base tags, "
+            "expected the full >= 21 tag registry"
+        )
+    if not 0 <= tagspace["max_remapped"] <= 65535:
+        return fail(
+            f"largest remapped tag {tagspace['max_remapped']} escapes the "
+            "2^16 SubComm namespace stride"
+        )
+    bounds = passes["bounds"]
+    if bounds["eager_cases"] <= 0:
+        return fail("eager-bound pass proved zero cases")
+    if bounds["eager_failures"] != 0:
+        return fail(f"eager bounds: {bounds['eager_failures']} failure(s)")
+    if bounds["shm_cases"] <= 0:
+        return fail("shm-pool pass proved zero cases")
+    if bounds["shm_failures"] != 0:
+        return fail(f"shm pool: {bounds['shm_failures']} failure(s)")
+
     print(
         f"verify_gate: ok — {doc['cases']} cases, {doc['proofs']} proofs, "
-        f"{doc['schedule_ops']} schedule ops, 0 failures"
+        f"{doc['schedule_ops']} schedule ops, 0 failures "
+        f"(rotation {rotation['cases']} cases / {rotation['steps']} steps, "
+        f"tagspace {tagspace['checks']} checks over {tagspace['contexts']} "
+        f"contexts, bounds {bounds['eager_cases']}+{bounds['shm_cases']} cases)"
     )
     return 0
 

@@ -17,6 +17,39 @@ std::uint64_t Plan::total_sends() const noexcept {
   return n;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  // Word-wise FNV-1a: the multiply keeps the mix order-sensitive, and one
+  // step per field stays cheap on the 16M-step P=4096 ring plans.
+  return (h ^ v) * kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t Plan::fingerprint() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, static_cast<std::uint64_t>(nranks));
+  h = fnv_mix(h, nbytes);
+  for (const auto& rank_steps : steps) {
+    h = fnv_mix(h, rank_steps.size());
+    for (const PlanStep& s : rank_steps) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(s.kind));
+      h = fnv_mix(h, static_cast<std::uint64_t>(s.dst));
+      h = fnv_mix(h, s.send_off);
+      h = fnv_mix(h, s.send_len);
+      h = fnv_mix(h, static_cast<std::uint64_t>(s.src));
+      h = fnv_mix(h, s.recv_off);
+      h = fnv_mix(h, s.recv_len);
+      h = fnv_mix(h, static_cast<std::uint64_t>(s.tag));
+    }
+  }
+  return h;
+}
+
 Plan compile_plan(int nranks, std::uint64_t nbytes, int root, std::string name,
                   const trace::RankProgram& program) {
   BSB_REQUIRE(nranks >= 1, "compile_plan: nranks must be positive");
@@ -102,6 +135,45 @@ void execute_plan_rank(Comm& comm, const Plan& plan, int rank,
         break;
     }
   }
+}
+
+trace::Schedule plan_to_schedule(const Plan& plan, int root) {
+  BSB_REQUIRE(root >= 0 && root < plan.nranks,
+              "plan_to_schedule: root out of range");
+  const int P = plan.nranks;
+  trace::Schedule sched;
+  sched.nranks = P;
+  sched.nbytes = plan.nbytes;
+  sched.ops.resize(static_cast<std::size_t>(P));
+  for (int rel = 0; rel < P; ++rel) {
+    auto& ops = sched.ops[static_cast<std::size_t>(abs_rank(rel, root, P))];
+    const auto& steps = plan.steps[static_cast<std::size_t>(rel)];
+    ops.reserve(steps.size());
+    for (const PlanStep& s : steps) {
+      trace::Op op;
+      switch (s.kind) {
+        case PlanStep::Kind::Send: op.kind = trace::OpKind::Send; break;
+        case PlanStep::Kind::Recv: op.kind = trace::OpKind::Recv; break;
+        case PlanStep::Kind::SendRecv:
+          op.kind = trace::OpKind::SendRecv;
+          break;
+      }
+      if (s.kind != PlanStep::Kind::Recv) {
+        op.dst = abs_rank(s.dst, root, P);
+        op.send_tag = s.tag;
+        op.send_bytes = s.send_len;
+        op.send_off = s.send_off;
+      }
+      if (s.kind != PlanStep::Kind::Send) {
+        op.src = abs_rank(s.src, root, P);
+        op.recv_tag = s.tag;
+        op.recv_cap = s.recv_len;
+        op.recv_off = s.recv_off;
+      }
+      ops.push_back(op);
+    }
+  }
+  return sched;
 }
 
 std::string describe_plan_rank(const Plan& plan, int rank) {

@@ -49,6 +49,13 @@ struct Plan {
 
   /// Number of messages the whole collective initiates.
   std::uint64_t total_sends() const noexcept;
+
+  /// Order-sensitive FNV-1a hash over every rank's step list (shape plus
+  /// all step fields). Equal fingerprints mean step-for-step identical
+  /// plans; the rotation-equivalence prover (verify/equiv.hpp) reports it
+  /// next to divergence witnesses so failures name the exact plan proven
+  /// against.
+  std::uint64_t fingerprint() const noexcept;
 };
 
 /// Compile `program` (a per-rank blocking algorithm body) into a Plan by
@@ -67,6 +74,14 @@ Plan compile_plan(int nranks, std::uint64_t nbytes, int root, std::string name,
 /// abs_rank. With root 0 this is a plain replay.
 void execute_plan_rank(Comm& comm, const Plan& plan, int rank,
                        std::span<std::byte> buffer, int root = 0);
+
+/// Expand a root-canonical plan into the trace::Schedule its rotated
+/// execution at `root` performs: absolute rank abs_rank(rel, root, P) gets
+/// plan rank rel's steps with both peers mapped through abs_rank and
+/// offsets/tags unchanged — exactly execute_plan_rank's mapping, but
+/// materialized for static analysis. The rotation-equivalence prover and
+/// tests iterate cached plans through this hook.
+trace::Schedule plan_to_schedule(const Plan& plan, int root = 0);
 
 /// Human-readable listing of one rank's steps.
 std::string describe_plan_rank(const Plan& plan, int rank);

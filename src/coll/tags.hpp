@@ -1,6 +1,18 @@
 // Per-algorithm message tags. Distinct tags keep phases of composed
 // collectives (scatter then allgather) from matching each other's traffic.
+//
+// This header is also the single source of truth for the tag-space
+// contract shared with the nonblocking progress engine
+// (src/mpisim/progress.hpp): base tags occupy the window [0, kCtxStride)
+// and in-flight collective #ctx on a communicator remaps plan tag t to
+// t + kCtxStride * ctx with ctx in [1, kMaxCtx]. The static_asserts below
+// plus verify/tagspace.cpp prove the remap injective and collision-free
+// over the whole context range.
 #pragma once
+
+#include <array>
+
+#include "comm/comm.hpp"
 
 namespace bsb::coll::tags {
 
@@ -25,5 +37,68 @@ inline constexpr int kBruckHierGather = 18;
 inline constexpr int kBruckHierExchange = 19;
 inline constexpr int kBruckHierBcast = 20;
 inline constexpr int kHierFanout = 21;
+
+/// Tag stride between in-flight nonblocking collectives on one
+/// communicator: the progress engine remaps plan tag t of operation #ctx
+/// to t + kCtxStride * ctx. Every base tag must stay below it.
+inline constexpr int kCtxStride = 32;
+
+/// Highest per-communicator context the progress engine assigns before
+/// sequence numbers wrap: keeps every remapped tag below kMaxUserTag (and
+/// therefore below SubComm's dissemination-barrier tag) even inside a
+/// SubComm namespace.
+inline constexpr int kMaxCtx = (kMaxUserTag - kCtxStride) / kCtxStride;
+
+/// Raw tags the chaos tests' random point-to-point scripts draw from
+/// ([0, kChaosTagSpan)). They share the context-0 band with blocking
+/// collectives' base tags and must never alias a remapped (ctx >= 1) tag.
+inline constexpr int kChaosTagSpan = 4;
+
+/// Every base tag any schedule can emit, for registry-driven checks
+/// (verify/lint.cpp's tag-discipline pass and verify/tagspace.cpp's
+/// whole-program tag-space lint). Keep in sync with the constants above.
+inline constexpr std::array<int, 21> kAllBaseTags{
+    kBcastBinomial,     kScatter,
+    kRingAllgather,     kRdAllgather,
+    kBruck,             kPipelinedRing,
+    kTunedRingAllgather, kGather,
+    kReduce,            kAllreduce,
+    kNeighborExchange,  kAlltoall,
+    kStandaloneScatter, kReduceScatterRing,
+    kReduceScatterFinal, kAllgathervRing,
+    kAllgathervRingTuned, kBruckHierGather,
+    kBruckHierExchange, kBruckHierBcast,
+    kHierFanout};
+
+namespace detail {
+
+constexpr bool all_tags_in_window() {
+  for (const int t : kAllBaseTags) {
+    if (t < 0 || t >= kCtxStride) return false;
+  }
+  return true;
+}
+
+constexpr bool all_tags_distinct() {
+  for (std::size_t i = 0; i < kAllBaseTags.size(); ++i) {
+    for (std::size_t j = i + 1; j < kAllBaseTags.size(); ++j) {
+      if (kAllBaseTags[i] == kAllBaseTags[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+static_assert(detail::all_tags_in_window(),
+              "every base tag must fit the [0, kCtxStride) remap window");
+static_assert(detail::all_tags_distinct(),
+              "base tags must be pairwise distinct");
+static_assert(kChaosTagSpan <= kCtxStride,
+              "chaos raw tags must stay inside the context-0 band");
+static_assert(kMaxCtx == 2046, "the documented context range is [1, 2046]");
+static_assert(kCtxStride - 1 + kCtxStride * kMaxCtx < kMaxUserTag,
+              "the largest remapped tag must stay below kMaxUserTag "
+              "(= SubComm::kBarrierTag)");
 
 }  // namespace bsb::coll::tags

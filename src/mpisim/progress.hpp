@@ -10,9 +10,10 @@
 //    rank's thread touches it — the engine itself needs no locking; the
 //    underlying mailboxes provide the cross-thread machinery.
 //  * Concurrent collectives on the SAME communicator are isolated by a
-//    per-communicator operation sequence number: step tags (all < 32) are
-//    remapped to `tag + 32 * ctx` with ctx in [1, 2046], so up to 2046
-//    operations can be in flight per communicator before tags wrap, and
+//    per-communicator operation sequence number: step tags (all below
+//    coll::tags::kCtxStride) are remapped to `tag + kCtxStride * ctx` with
+//    ctx in [1, kMaxCtx], so up to kMaxCtx operations can be in flight per
+//    communicator before tags wrap, and
 //    remapped tags never collide with blocking collectives' raw tags or
 //    with SubComm::barrier. Ranks must start collectives on a given
 //    communicator in the same order (the MPI nonblocking-collective rule);
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "coll/plan.hpp"
+#include "coll/tags.hpp"
 #include "mpisim/thread_comm.hpp"
 
 namespace bsb::mpisim {
@@ -92,11 +94,12 @@ class ProgressEngine {
   std::size_t in_flight() const noexcept { return active_.size(); }
 
   /// Tag stride between in-flight ops on one communicator; every plan tag
-  /// must stay below it.
-  static constexpr int kCtxStride = 32;
+  /// must stay below it. Aliased from coll/tags.hpp, the single source of
+  /// truth for the tag-space contract (static_asserts live there).
+  static constexpr int kCtxStride = coll::tags::kCtxStride;
   /// Highest per-communicator context: keeps remapped tags below
   /// kMaxUserTag even inside a SubComm namespace.
-  static constexpr int kMaxCtx = (kMaxUserTag - kCtxStride) / kCtxStride;  // 2046
+  static constexpr int kMaxCtx = coll::tags::kMaxCtx;  // 2046
 
  private:
   friend class CollRequest;

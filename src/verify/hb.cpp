@@ -84,6 +84,11 @@ HbReport analyze_hb(const trace::Schedule& sched, const trace::MatchResult& m,
   // execution of the schedule needs.
   std::vector<std::uint8_t> buffered(m.msgs.size(), 0);
   std::vector<std::uint8_t> recv_done(m.msgs.size(), 0);
+  // Receiver-attributed residency: eager payloads live at the destination
+  // rank, so the per-rank peaks are what the closed-form bounds of
+  // lint.hpp's eager_peak_bounds must dominate.
+  report.rank_eager_high_water.assign(static_cast<std::size_t>(P), 0);
+  std::vector<std::uint64_t> rank_buffered(static_cast<std::size_t>(P), 0);
 
   // send_posted is implied by pc ordering; track completion of recvs to
   // release eager buffers exactly once.
@@ -105,6 +110,10 @@ HbReport analyze_hb(const trace::Schedule& sched, const trace::MatchResult& m,
         buffered[id] = 1;
         report.eager_high_water_bytes =
             std::max(report.eager_high_water_bytes, eager_buffered);
+        const auto dst = static_cast<std::size_t>(msg.dst);
+        rank_buffered[dst] += msg.bytes;
+        report.rank_eager_high_water[dst] =
+            std::max(report.rank_eager_high_water[dst], rank_buffered[dst]);
       }
       return true;  // eager: buffered (or delivered direct) at post
     }
@@ -119,6 +128,7 @@ HbReport analyze_hb(const trace::Schedule& sched, const trace::MatchResult& m,
     if (buffered[id]) {
       eager_buffered -= msg.bytes;
       buffered[id] = 0;
+      rank_buffered[static_cast<std::size_t>(msg.dst)] -= msg.bytes;
     }
     recv_done[id] = 1;
     return true;

@@ -66,6 +66,11 @@ struct HbReport {
   /// buffered by the runtime at any instant (the lint high-water mark).
   std::uint64_t eager_msgs = 0;
   std::uint64_t eager_high_water_bytes = 0;
+  /// Per-rank peak of the same accounting, attributed to the RECEIVER of
+  /// each buffered message (the runtime parks eager payloads at the
+  /// destination). Indexed by absolute rank; compared against the
+  /// closed-form eager_peak_bounds of lint.hpp by the verifier.
+  std::vector<std::uint64_t> rank_eager_high_water;
 };
 
 /// Analyze `sched` (already matched as `m`). Never throws on a property

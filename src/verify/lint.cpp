@@ -1,7 +1,14 @@
 #include "verify/lint.hpp"
 
+#include <algorithm>
+
+#include "bsbutil/error.hpp"
+#include "coll/hier/topology.hpp"
+#include "coll/scatter_binomial.hpp"
 #include "coll/tags.hpp"
+#include "comm/chunks.hpp"
 #include "comm/comm.hpp"
+#include "core/ring_plan.hpp"
 
 namespace bsb::verify {
 
@@ -15,8 +22,13 @@ using trace::OpKind;
 constexpr std::size_t kMaxFindings = 64;
 
 bool known_base_tag(int base) {
-  return base >= coll::tags::kBcastBinomial &&
-         base <= coll::tags::kBruckHierBcast;
+  // Registry-driven, so a tag added to coll/tags.hpp (and kAllBaseTags) is
+  // accepted here automatically. The old range check silently excluded
+  // kHierFanout, flagging every hier fan-out message as unregistered.
+  for (const int t : coll::tags::kAllBaseTags) {
+    if (base == t) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -142,6 +154,192 @@ LintReport lint_schedule(const trace::Schedule& sched) {
          std::to_string(dropped) + " further finding(s) suppressed"});
   }
   return report;
+}
+
+// --- Symbolic resource-safety bounds -----------------------------------
+
+namespace {
+
+/// Bytes a message of size b parks in the eager buffer: b when it takes
+/// the eager path (b <= threshold), nothing under rendezvous.
+std::uint64_t eligible(std::uint64_t bytes, std::uint64_t threshold) {
+  return bytes <= threshold ? bytes : 0;
+}
+
+/// Inbound eager bytes of ring rank `rel` in an n-rank ring over `layout`:
+/// step i receives chunk (rel - i) mod n. The native ring receives at every
+/// step; the tuned ring's non-recv_only special ranks skip the steps past
+/// n - plan.step (their right neighbour already owns those chunks).
+std::uint64_t ring_inbound(int rel, int n, const ChunkLayout& layout,
+                           bool tuned, std::uint64_t threshold) {
+  int last = n - 1;
+  if (tuned) {
+    const core::RingPlan plan = core::compute_ring_plan(rel, n);
+    if (!plan.recv_only) last = n - plan.step;
+  }
+  std::uint64_t sum = 0;
+  for (int i = 1; i <= last; ++i) {
+    sum += eligible(layout.count(((rel - i) % n + n) % n), threshold);
+  }
+  return sum;
+}
+
+/// Inbound eager bytes of the binomial scatter: one message holding the
+/// rank's whole subtree block (nothing for the relative root, and no
+/// message at all when the block is empty).
+std::uint64_t scatter_inbound(int rel, const ChunkLayout& layout,
+                              std::uint64_t threshold) {
+  if (rel == 0) return 0;
+  return eligible(coll::scatter_block_bytes(rel, layout), threshold);
+}
+
+}  // namespace
+
+bool eager_bound_checkable(fuzz::Variant v) noexcept {
+  switch (v) {
+    case fuzz::Variant::BcastBinomial:
+    case fuzz::Variant::BcastScatterRingNative:
+    case fuzz::Variant::BcastScatterRingTuned:
+    case fuzz::Variant::AllgatherRingNative:
+    case fuzz::Variant::AllgatherRingTuned:
+    case fuzz::Variant::BcastHier:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::uint64_t> eager_peak_bounds(const fuzz::FuzzCase& c,
+                                             std::uint64_t eager_threshold) {
+  const int P = c.nranks;
+  const std::uint64_t thr = eager_threshold;
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(P), 0);
+  switch (c.variant) {
+    case fuzz::Variant::BcastBinomial:
+      for (int r = 0; r < P; ++r) {
+        if (rel_rank(r, c.root, P) != 0) {
+          bounds[static_cast<std::size_t>(r)] = eligible(c.nbytes, thr);
+        }
+      }
+      break;
+    case fuzz::Variant::BcastScatterRingNative:
+    case fuzz::Variant::BcastScatterRingTuned: {
+      const ChunkLayout layout(c.nbytes, P);
+      const bool tuned = c.variant == fuzz::Variant::BcastScatterRingTuned;
+      for (int r = 0; r < P; ++r) {
+        const int rel = rel_rank(r, c.root, P);
+        bounds[static_cast<std::size_t>(r)] =
+            scatter_inbound(rel, layout, thr) +
+            ring_inbound(rel, P, layout, tuned, thr);
+      }
+      break;
+    }
+    case fuzz::Variant::AllgatherRingNative:
+    case fuzz::Variant::AllgatherRingTuned: {
+      const ChunkLayout layout(c.nbytes, P);
+      const bool tuned = c.variant == fuzz::Variant::AllgatherRingTuned;
+      for (int r = 0; r < P; ++r) {
+        bounds[static_cast<std::size_t>(r)] =
+            ring_inbound(rel_rank(r, c.root, P), P, layout, tuned, thr);
+      }
+      break;
+    }
+    case fuzz::Variant::BcastHier: {
+      BSB_REQUIRE(!c.node_sizes.empty(),
+                  "eager_peak_bounds: BcastHier case not normalized");
+      const hier::Topology topo(c.node_sizes);
+      BSB_REQUIRE(topo.nranks() == P,
+                  "eager_peak_bounds: node shape / rank count mismatch");
+      const int L = topo.num_nodes();
+      const ChunkLayout layout(c.nbytes, L);
+      const int root_node = topo.node_of(c.root);
+      for (int r = 0; r < P; ++r) {
+        const int node = topo.node_of(r);
+        if (topo.leader_of(node, c.root) == r) {
+          // Phase A: leaders scatter + ring over the L-node leader group,
+          // whose relative root is the root's node index.
+          if (L > 1) {
+            const int lrel = rel_rank(node, root_node, L);
+            bounds[static_cast<std::size_t>(r)] =
+                scatter_inbound(lrel, layout, thr) +
+                ring_inbound(lrel, L, layout, c.use_tuned_ring, thr);
+          }
+        } else {
+          // Phase B: one full-buffer single-copy delivery from the leader.
+          bounds[static_cast<std::size_t>(r)] = eligible(c.nbytes, thr);
+        }
+      }
+      break;
+    }
+    default:
+      BSB_ASSERT(false, "eager_peak_bounds: variant has no closed form");
+  }
+  return bounds;
+}
+
+ShmPoolReport verify_shm_pool(const trace::Schedule& sched,
+                              const std::vector<int>& node_sizes, int root) {
+  ShmPoolReport rep;
+  BSB_REQUIRE(!node_sizes.empty(), "verify_shm_pool: empty node shape");
+  const hier::Topology topo(node_sizes);
+  BSB_REQUIRE(topo.nranks() == sched.nranks,
+              "verify_shm_pool: node shape / schedule rank count mismatch");
+
+  auto witness = [&](std::string what) {
+    rep.ok = false;
+    if (rep.witnesses.size() < 8) rep.witnesses.push_back(std::move(what));
+  };
+
+  const int N = topo.num_nodes();
+  std::vector<std::uint64_t> node_bytes(static_cast<std::size_t>(N), 0);
+  std::vector<std::uint64_t> node_msgs(static_cast<std::size_t>(N), 0);
+
+  for (int r = 0; r < sched.nranks; ++r) {
+    for (const Op& op : sched.ops[static_cast<std::size_t>(r)]) {
+      if (!op.has_send() || op.send_tag != coll::tags::kHierFanout) continue;
+      ++rep.fanout_msgs;
+      const int node = topo.node_of(r);
+      if (topo.node_of(op.dst) != node) {
+        witness("fan-out message " + std::to_string(r) + " -> " +
+                std::to_string(op.dst) + " crosses nodes " +
+                std::to_string(node) + " -> " +
+                std::to_string(topo.node_of(op.dst)) +
+                ": the shm channel cannot carry it");
+        continue;
+      }
+      if (topo.leader_of(node, root) != r) {
+        witness("fan-out message from rank " + std::to_string(r) +
+                " on node " + std::to_string(node) +
+                ", which is led by rank " +
+                std::to_string(topo.leader_of(node, root)));
+      }
+      node_bytes[static_cast<std::size_t>(node)] += op.send_bytes;
+      ++node_msgs[static_cast<std::size_t>(node)];
+    }
+  }
+
+  for (int n = 0; n < N; ++n) {
+    const std::uint64_t want_msgs =
+        static_cast<std::uint64_t>(topo.node_size(n)) - 1;
+    const std::uint64_t want_bytes = want_msgs * sched.nbytes;
+    rep.bound_node_bytes = std::max(rep.bound_node_bytes, want_bytes);
+    rep.peak_node_bytes =
+        std::max(rep.peak_node_bytes, node_bytes[static_cast<std::size_t>(n)]);
+    if (node_msgs[static_cast<std::size_t>(n)] != want_msgs) {
+      witness("node " + std::to_string(n) + " moves " +
+              std::to_string(node_msgs[static_cast<std::size_t>(n)]) +
+              " single-copy fan-out message(s); the pool is provisioned "
+              "for node_size - 1 = " +
+              std::to_string(want_msgs));
+    } else if (node_bytes[static_cast<std::size_t>(n)] != want_bytes) {
+      witness("node " + std::to_string(n) + " moves " +
+              std::to_string(node_bytes[static_cast<std::size_t>(n)]) +
+              " fan-out byte(s); the pool is provisioned for (node_size - "
+              "1) * nbytes = " +
+              std::to_string(want_bytes));
+    }
+  }
+  return rep;
 }
 
 }  // namespace bsb::verify

@@ -5,12 +5,17 @@
 // and mismatched per-rank barrier counts. Errors make the schedule invalid;
 // warnings flag legal-but-wasteful constructs (e.g. the enclosed ring's
 // zero-byte trailing-chunk messages the paper criticises).
+// The same header also hosts the symbolic resource-safety bounds: per-rank
+// closed-form peaks for the eager buffer (checked against the greedy
+// high-water mark of hb.cpp) and the shm-pool occupancy proof for the hier
+// fan-out phase (docs/VERIFIER.md).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "fuzz/case.hpp"
 #include "trace/schedule.hpp"
 
 namespace bsb::verify {
@@ -36,5 +41,40 @@ struct LintReport {
 };
 
 LintReport lint_schedule(const trace::Schedule& sched);
+
+// --- Symbolic resource-safety bounds -----------------------------------
+
+/// True when eager_peak_bounds knows a closed form for the variant's
+/// per-rank inbound message multiset.
+bool eager_bound_checkable(fuzz::Variant v) noexcept;
+
+/// Per-rank (absolute-rank-indexed) closed-form upper bound, in bytes, on
+/// the eager high-water mark under `eager_threshold`: the sum of every
+/// inbound message of at most threshold bytes, derived from the algorithm's
+/// structure alone. The scatter term is the rank's binomial subtree block,
+/// the ring term sums chunk (rel - i) mod P over the steps the rank's
+/// RingPlan actually receives in, and the hier fan-out term is one full
+/// buffer per non-leader. Sound for any execution order: the greedy
+/// high-water of analyze_hb can never exceed it.
+std::vector<std::uint64_t> eager_peak_bounds(const fuzz::FuzzCase& c,
+                                             std::uint64_t eager_threshold);
+
+/// Shm-pool occupancy proof for the hierarchical fan-out phase.
+struct ShmPoolReport {
+  bool ok = true;
+  std::uint64_t fanout_msgs = 0;       // kHierFanout sends in the schedule
+  std::uint64_t peak_node_bytes = 0;   // worst per-node in-flight bytes
+  std::uint64_t bound_node_bytes = 0;  // closed form: max (size-1)*nbytes
+  std::vector<std::string> witnesses;
+};
+
+/// Prove the netsim shm-pool assumptions for a recorded hier schedule:
+/// every kHierFanout message stays inside its node and originates at the
+/// node's leader, and each node's in-flight single-copy bytes — senders
+/// are freed at post, so all of a node's fan-out messages can be resident
+/// at once — equal the closed form (node_size - 1) * nbytes the
+/// bw_shm_node pool is provisioned for.
+ShmPoolReport verify_shm_pool(const trace::Schedule& sched,
+                              const std::vector<int>& node_sizes, int root);
 
 }  // namespace bsb::verify

@@ -1,0 +1,133 @@
+#include "verify/tagspace.hpp"
+
+#include <algorithm>
+
+#include "coll/tags.hpp"
+#include "comm/comm.hpp"
+
+namespace bsb::verify {
+
+namespace {
+
+constexpr int kStride = coll::tags::kCtxStride;
+constexpr int kCtxLo = 1;
+constexpr int kCtxHi = coll::tags::kMaxCtx;
+
+}  // namespace
+
+std::string TagSpaceReport::to_string() const {
+  std::string out = "tag space: " + std::to_string(base_tags) +
+                    " base tag(s) + " + std::to_string(raw_tags) +
+                    " raw tag(s) over ctx [" + std::to_string(kCtxLo) + ", " +
+                    std::to_string(contexts) + "], " +
+                    std::to_string(checks) + " check(s), max remapped tag " +
+                    std::to_string(max_remapped) +
+                    (ok ? " -- ok" : " -- VIOLATIONS");
+  for (const std::string& w : witnesses) out += "\n  " + w;
+  return out;
+}
+
+TagSpaceReport lint_tag_space(const TagSpaceOptions& opt) {
+  TagSpaceReport rep;
+  rep.contexts = kCtxHi;
+
+  auto fail = [&](std::string what) {
+    rep.ok = false;
+    if (rep.witnesses.size() < 16) rep.witnesses.push_back(std::move(what));
+  };
+
+  // The collective base tags: the registry plus any planted extras.
+  std::vector<int> base(coll::tags::kAllBaseTags.begin(),
+                        coll::tags::kAllBaseTags.end());
+  base.insert(base.end(), opt.extra_base_tags.begin(),
+              opt.extra_base_tags.end());
+  rep.base_tags = static_cast<int>(base.size());
+
+  // 1. Window: every base tag must fit [0, kCtxStride) so context bands
+  // [ctx*S, ctx*S + S) are disjoint by construction.
+  for (const int t : base) {
+    ++rep.checks;
+    if (t < 0 || t >= kStride) {
+      fail("base tag " + std::to_string(t) + " is outside the [0, " +
+           std::to_string(kStride) + ") remap window");
+    }
+    rep.max_remapped = std::max(rep.max_remapped, t + kStride * kCtxHi);
+  }
+
+  // 2. Injectivity across concurrently live contexts: distinct tags t1, t2
+  // collide at contexts c1 < c2 iff t1 - t2 == S * (c2 - c1). One divisibility
+  // check per pair covers the whole ctx range; on a hit the witness names
+  // the smallest live (c1, c2) pair and the shared remapped value.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (std::size_t j = i + 1; j < base.size(); ++j) {
+      const int t1 = std::max(base[i], base[j]);
+      const int t2 = std::min(base[i], base[j]);
+      if (t1 == t2) continue;  // same value: one tag, not a collision pair
+      ++rep.checks;
+      const int d = t1 - t2;
+      if (d % kStride != 0) continue;
+      const int span = d / kStride;  // t1 + S*c == t2 + S*(c + span)
+      if (kCtxLo + span > kCtxHi) continue;  // never both live
+      const int c1 = kCtxLo;
+      const int c2 = kCtxLo + span;
+      fail("base tags " + std::to_string(t1) + " (ctx " + std::to_string(c1) +
+           ") and " + std::to_string(t2) + " (ctx " + std::to_string(c2) +
+           ") both remap to tag " + std::to_string(t1 + kStride * c1) +
+           ": a receive for operation #" + std::to_string(c1) +
+           " can capture operation #" + std::to_string(c2) +
+           "'s traffic from the same source");
+    }
+  }
+
+  // 3. Raw context-0 band: blocking collectives use the base tags bare and
+  // the chaos scripts use [0, kChaosTagSpan); the smallest remapped tag
+  // (ctx = 1) must clear them all.
+  for (int t = 0; t < coll::tags::kChaosTagSpan; ++t) {
+    ++rep.checks;
+    ++rep.raw_tags;
+    if (t >= kStride) {
+      fail("chaos raw tag " + std::to_string(t) +
+           " reaches into the ctx=1 remap band");
+    }
+  }
+  for (const int t : base) {
+    ++rep.checks;
+    if (t < kStride) continue;  // in-window: below every remap band
+    const int ctx = t / kStride;
+    const int b = t % kStride;
+    if (ctx >= kCtxLo && ctx <= kCtxHi) {
+      fail("raw (blocking) use of base tag " + std::to_string(t) +
+           " lands inside the ctx=" + std::to_string(ctx) +
+           " remap band and aliases base tag " + std::to_string(b) +
+           " of in-flight operation #" + std::to_string(ctx));
+    }
+  }
+
+  // 4. Ceiling: the largest remapped tag must stay below kMaxUserTag (the
+  // SubComm dissemination-barrier tag) and below the 2^16 SubComm
+  // namespace stride, so context * 2^16 + tag never aliases across
+  // sub-communicators.
+  for (const int t : base) {
+    ++rep.checks;
+    const int top = t + kStride * kCtxHi;
+    if (top >= kMaxUserTag) {
+      fail("base tag " + std::to_string(t) + " remaps to " +
+           std::to_string(top) + " at ctx " + std::to_string(kCtxHi) +
+           ", colliding with the barrier/namespace ceiling " +
+           std::to_string(kMaxUserTag));
+    }
+  }
+
+  // 5. Wildcards: kAnyTag is negative, so it can never equal a remapped
+  // tag; schedules that record it are rejected outright by lint_schedule's
+  // negative-tag error, closing the cross-context capture hole.
+  ++rep.checks;
+  if (kAnyTag >= 0) {
+    fail("kAnyTag (" + std::to_string(kAnyTag) +
+         ") is non-negative and could alias a remapped tag");
+  }
+
+  return rep;
+}
+
+}  // namespace bsb::verify

@@ -1,0 +1,53 @@
+// Whole-program tag-space lint: proves the progress engine's ctx remap
+// (coll/tags.hpp: plan tag t of in-flight collective #ctx becomes
+// t + kCtxStride * ctx, ctx in [1, kMaxCtx]) safe over EVERY tag any
+// schedule can emit — the registered per-algorithm base tags (including
+// kHierFanout), the chaos tests' raw point-to-point band, and any planted
+// extras (the --demo-broken=tagspace sabotage).
+//
+// Properties proven, each with a concrete witness on failure:
+//  * window     — every base tag fits [0, kCtxStride), so the remap of any
+//                 two distinct contexts lands in disjoint bands;
+//  * injective  — no two (tag, ctx) pairs remap to the same value: for
+//                 in-window tags t1 != t2, t1 + S*c1 == t2 + S*c2 needs
+//                 S | (t1 - t2), impossible with |t1 - t2| < S. Enumerated
+//                 pairwise, so a planted out-of-window tag yields the exact
+//                 colliding (ctx, remapped-tag) pair;
+//  * raw band   — the smallest remapped tag (ctx = 1) clears every raw
+//                 context-0 tag, so blocking collectives and chaos traffic
+//                 can never capture an in-flight nonblocking message;
+//  * ceiling    — the largest remapped tag stays below kMaxUserTag (the
+//                 SubComm dissemination-barrier tag) and below the 2^16
+//                 SubComm namespace stride;
+//  * wildcards  — kAnyTag is negative, hence outside every band; recorded
+//                 schedules containing it are rejected by lint_schedule, so
+//                 a wildcard receive cannot capture cross-context traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsb::verify {
+
+struct TagSpaceOptions {
+  /// Extra base tags to lint alongside the registry — the sabotage hook
+  /// (plant 33 to watch the window and collision witnesses fire).
+  std::vector<int> extra_base_tags;
+};
+
+struct TagSpaceReport {
+  bool ok = true;
+  int base_tags = 0;        // collective base tags checked
+  int raw_tags = 0;         // raw context-0 (chaos) tags checked
+  int contexts = 0;         // ctx range each proof covers (kMaxCtx)
+  std::uint64_t checks = 0; // individual properties proven
+  int max_remapped = -1;    // largest tag the remap can ever produce
+  std::vector<std::string> witnesses;  // one line per violated property
+
+  std::string to_string() const;
+};
+
+TagSpaceReport lint_tag_space(const TagSpaceOptions& opt = {});
+
+}  // namespace bsb::verify

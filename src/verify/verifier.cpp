@@ -17,6 +17,7 @@
 #include "trace/match.hpp"
 #include "trace/record.hpp"
 #include "verify/conformance.hpp"
+#include "verify/equiv.hpp"
 #include "verify/hb.hpp"
 #include "verify/lint.hpp"
 
@@ -78,6 +79,28 @@ void verify_impl(const trace::Schedule& sched, int root,
       add_failure(res, "deadlock[eager_threshold=" + std::to_string(thr) +
                            "]:\n" + hb.diagnostics);
     }
+    // 3b. Symbolic eager bounds: the greedy per-rank high-water must be
+    // dominated by the closed form derived from the variant's structure.
+    // Skipped on deadlock: the stuck fixpoint leaves residency partial.
+    if (cfg != nullptr && opt.check_bounds && !hb.deadlock &&
+        eager_bound_checkable(cfg->variant)) {
+      const std::vector<std::uint64_t> bound = eager_peak_bounds(*cfg, thr);
+      res->eager_bounds_checked = true;
+      for (int r = 0; r < sched.nranks; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        res->eager_bound_max = std::max(res->eager_bound_max, bound[ri]);
+        if (ri < hb.rank_eager_high_water.size() &&
+            hb.rank_eager_high_water[ri] > bound[ri]) {
+          add_failure(res, "bounds: rank " + std::to_string(r) +
+                               " eager high-water " +
+                               std::to_string(hb.rank_eager_high_water[ri]) +
+                               " exceeds the closed form " +
+                               std::to_string(bound[ri]) + " at threshold " +
+                               std::to_string(thr));
+          break;  // one witness per threshold keeps the report readable
+        }
+      }
+    }
     if (first_threshold && !hb.races.empty()) {
       std::string what = "race:";
       for (const BufferRace& race : hb.races) {
@@ -91,6 +114,22 @@ void verify_impl(const trace::Schedule& sched, int root,
       add_failure(res, what);
     }
     first_threshold = false;
+  }
+
+  // 3c. Shm-pool occupancy proof for the hier fan-out phase.
+  if (cfg != nullptr && opt.check_bounds &&
+      cfg->variant == Variant::BcastHier && !cfg->node_sizes.empty()) {
+    const ShmPoolReport shm = verify_shm_pool(sched, cfg->node_sizes, root);
+    res->shm_checked = true;
+    res->shm_peak_node_bytes = shm.peak_node_bytes;
+    if (!shm.ok) {
+      std::string what = "bounds: shm pool occupancy violated (peak " +
+                         std::to_string(shm.peak_node_bytes) +
+                         " B vs provisioned " +
+                         std::to_string(shm.bound_node_bytes) + " B)";
+      for (const std::string& w : shm.witnesses) what += "\n  " + w;
+      add_failure(res, what);
+    }
   }
 
   // 4. Dataflow coverage + redundancy under the initial-ownership contract.
@@ -233,6 +272,20 @@ CaseResult verify_case(const FuzzCase& c, const VerifyOptions& opt,
   const std::vector<IntervalSet> initial = initial_coverage(c);
   const bool dataflow = opt.check_dataflow && dataflow_checkable(c.variant);
   verify_impl(sched, c.root, opt, &initial, &expect, &c, dataflow, &res);
+  // 6. Rotation equivalence: the freshly recorded root-r schedule must be
+  // the rotated root-0 plan. Sabotaged runs are skipped — the sabotage is
+  // applied to the fresh recording only, so the canonical program differs
+  // by construction, not by a cache bug.
+  if (opt.check_rotation && sabotage == fuzz::Sabotage::None &&
+      rotation_checkable(c.variant)) {
+    const RotationReport rot = prove_rotation_equivalence(c, sched);
+    res.rotation_checked = true;
+    res.rotation_full_graph = rot.full_graph_checked;
+    res.rotation_steps = rot.steps_compared;
+    if (!rot.ok) {
+      add_failure(&res, "rotation: " + rot.to_string());
+    }
+  }
   return res;
 }
 
@@ -503,6 +556,12 @@ SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
         << (report.closed_form_failures.empty() ? "ok" : "FAILED") << "\n";
   }
 
+  // Whole-program tag-space lint: independent of any schedule, so once per
+  // sweep covers every configuration below.
+  report.tagspace = lint_tag_space();
+  report.proofs += report.tagspace.checks;
+  out << report.tagspace.to_string() << "\n";
+
   const std::vector<int> plist =
       opt.plist.empty() ? default_plist(opt.pmax) : opt.plist;
   VerifyOptions vopt;
@@ -534,10 +593,33 @@ SweepReport run_sweep(const SweepOptions& opt, std::ostream& out) {
           ++report.per_variant_cases[vi];
           report.schedules_ops += res.total_ops;
           // Properties checked per case: lint, match, deadlock freedom per
-          // threshold, buffer safety, coverage, redundancy, transfers.
+          // threshold, buffer safety, coverage, redundancy, transfers, plus
+          // the rotation / eager-bound / shm-pool proofs where they ran.
           report.proofs += 4 + opt.eager_thresholds.size() +
                            (res.dataflow_checked ? 1 : 0) +
-                           (res.reduce_flow_checked ? 1 : 0);
+                           (res.reduce_flow_checked ? 1 : 0) +
+                           (res.rotation_checked ? 1 : 0) +
+                           (res.eager_bounds_checked ? 1 : 0) +
+                           (res.shm_checked ? 1 : 0);
+          auto failed_with = [&res](const char* prefix) {
+            for (const std::string& f : res.failures) {
+              if (f.rfind(prefix, 0) == 0) return true;
+            }
+            return false;
+          };
+          if (res.rotation_checked) {
+            ++report.rotation_cases;
+            report.rotation_steps += res.rotation_steps;
+            if (failed_with("rotation:")) ++report.rotation_failures;
+          }
+          if (res.eager_bounds_checked) {
+            ++report.eager_bound_cases;
+            if (failed_with("bounds: rank")) ++report.eager_bound_failures;
+          }
+          if (res.shm_checked) {
+            ++report.shm_cases;
+            if (failed_with("bounds: shm")) ++report.shm_failures;
+          }
           if (!res.ok) {
             ++report.failures;
             ++p_failures;
@@ -614,6 +696,27 @@ void write_verify_json(const std::string& path, const SweepOptions& opt,
     << ", \"l10_inter_native\": " << core::hier_inter_transfers(10, big, false)
     << ", \"l10_inter_tuned\": " << core::hier_inter_transfers(10, big, true)
     << "},\n";
+  f << "  \"passes\": {\n";
+  f << "    \"rotation\": {\"cases\": " << report.rotation_cases
+    << ", \"failures\": " << report.rotation_failures
+    << ", \"steps\": " << report.rotation_steps << "},\n";
+  f << "    \"tagspace\": {\"ok\": "
+    << (report.tagspace.ok ? "true" : "false")
+    << ", \"base_tags\": " << report.tagspace.base_tags
+    << ", \"contexts\": " << report.tagspace.contexts
+    << ", \"checks\": " << report.tagspace.checks
+    << ", \"max_remapped\": " << report.tagspace.max_remapped
+    << ", \"witnesses\": [";
+  for (std::size_t i = 0; i < report.tagspace.witnesses.size(); ++i) {
+    f << (i ? ", " : "") << '"' << json_escape(report.tagspace.witnesses[i])
+      << '"';
+  }
+  f << "]},\n";
+  f << "    \"bounds\": {\"eager_cases\": " << report.eager_bound_cases
+    << ", \"eager_failures\": " << report.eager_bound_failures
+    << ", \"shm_cases\": " << report.shm_cases
+    << ", \"shm_failures\": " << report.shm_failures << "}\n";
+  f << "  },\n";
   f << "  \"per_variant\": {";
   bool first = true;
   for (const Variant v : fuzz::all_variants()) {

@@ -3,7 +3,11 @@
 // prove deadlock freedom under each eager threshold (happens-before
 // analysis), prove buffer safety, validate dataflow coverage with the
 // variant's initial-ownership contract, check redundancy against the
-// paper's excess, and check transfer counts against the closed forms.
+// paper's excess, check transfer counts against the closed forms, prove
+// the schedule cache's rotation equivalence (verify/equiv.hpp), and check
+// the greedy eager high-water against the symbolic per-rank bounds plus
+// the hier shm-pool occupancy closed form (verify/lint.hpp). A sweep also
+// runs the whole-program tag-space lint (verify/tagspace.hpp) once.
 // Everything runs without the thread backend, so it scales to process
 // counts the threaded oracle cannot reach.
 #pragma once
@@ -19,6 +23,7 @@
 #include "fuzz/case.hpp"
 #include "fuzz/runner.hpp"
 #include "trace/schedule.hpp"
+#include "verify/tagspace.hpp"
 
 namespace bsb::verify {
 
@@ -30,6 +35,13 @@ struct VerifyOptions {
   /// Validate dataflow coverage and redundancy (skipped automatically for
   /// variants with scratch-buffer offsets, e.g. Bruck).
   bool check_dataflow = true;
+  /// Prove the rotated root-0 plan equivalent to a fresh root-r recording
+  /// (skipped automatically for variants outside the plan cache, and for
+  /// sabotaged runs, where the canonical program differs by design).
+  bool check_rotation = true;
+  /// Check the greedy eager high-water against the closed-form per-rank
+  /// bounds, and the hier fan-out against the shm-pool occupancy form.
+  bool check_bounds = true;
 };
 
 /// Outcome of the full property suite on one configuration.
@@ -40,8 +52,9 @@ struct CaseResult {
   std::string label;
   bool ok = true;
   /// One entry per failed property, prefixed "deadlock:", "race:",
-  /// "lint:", "match:", "coverage:", "reduce-flow:", "redundancy:" or
-  /// "transfers:".
+  /// "lint:", "match:", "coverage:", "reduce-flow:", "redundancy:",
+  /// "transfers:", "rotation:" or "bounds:" ("bounds: rank" for eager
+  /// high-water vs closed form, "bounds: shm" for pool occupancy).
   std::vector<std::string> failures;
 
   // Proven facts (for reporting).
@@ -56,6 +69,15 @@ struct CaseResult {
   /// True when the contributor-interval (reduce-flow) proof ran; the
   /// redundant_* fields then count re-deliveries of fully reduced chunks.
   bool reduce_flow_checked = false;
+  /// Rotation-equivalence proof (verify/equiv.hpp) outcome.
+  bool rotation_checked = false;
+  bool rotation_full_graph = false;   // matchings also compared edge-by-edge
+  std::uint64_t rotation_steps = 0;   // plan steps proven equivalent
+  /// Symbolic resource-bound proofs (verify/lint.hpp) outcome.
+  bool eager_bounds_checked = false;
+  std::uint64_t eager_bound_max = 0;  // largest per-rank closed-form bound
+  bool shm_checked = false;
+  std::uint64_t shm_peak_node_bytes = 0;
 
   std::string summary() const;
 };
@@ -103,9 +125,21 @@ struct SweepReport {
   std::vector<std::string> closed_form_failures;
   /// Failed cases, capped; summaries suitable for diagnostics.
   std::vector<CaseResult> failed;
+  // Per-pass accounting for the bsb-verify-v1 "passes" section.
+  std::uint64_t rotation_cases = 0;
+  std::uint64_t rotation_failures = 0;
+  std::uint64_t rotation_steps = 0;
+  std::uint64_t eager_bound_cases = 0;
+  std::uint64_t eager_bound_failures = 0;
+  std::uint64_t shm_cases = 0;
+  std::uint64_t shm_failures = 0;
+  /// Whole-program tag-space lint, run once per sweep.
+  TagSpaceReport tagspace;
   double elapsed_seconds = 0.0;
 
-  bool ok() const { return failures == 0 && closed_form_failures.empty(); }
+  bool ok() const {
+    return failures == 0 && closed_form_failures.empty() && tagspace.ok;
+  }
 };
 
 /// Run the sweep, streaming progress to `out`.

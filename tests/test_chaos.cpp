@@ -10,6 +10,7 @@
 
 #include "bsbutil/rng.hpp"
 #include "coll/comm_split.hpp"
+#include "coll/tags.hpp"
 #include "coll/gather_binomial.hpp"
 #include "coll/reduce.hpp"
 #include "core/bcast.hpp"
@@ -60,7 +61,8 @@ std::vector<ScriptedMsg> make_script(std::uint64_t seed, int P, int nmsgs) {
     m.src = static_cast<int>(rng.next_below(P));
     m.dst = static_cast<int>(rng.next_below(P));
     if (m.dst == m.src) m.dst = (m.dst + 1) % P;  // avoid self-deadlock risk
-    m.tag = static_cast<int>(rng.next_below(4));
+    m.tag = static_cast<int>(
+        rng.next_below(bsb::coll::tags::kChaosTagSpan));
     m.bytes = static_cast<std::size_t>(rng.next_below(3000));
     m.pattern_seed = rng.next();
     script.push_back(m);

@@ -5,17 +5,25 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
+#include "bsbutil/rng.hpp"
+#include "coll/plan.hpp"
 #include "coll/tags.hpp"
 #include "core/transfer_analysis.hpp"
 #include "fuzz/case.hpp"
 #include "fuzz/runner.hpp"
+#include "mpisim/thread_comm.hpp"
+#include "mpisim/world.hpp"
 #include "trace/match.hpp"
+#include "trace/record.hpp"
 #include "trace/reduce_flow.hpp"
 #include "trace/schedule.hpp"
 #include "verify/conformance.hpp"
+#include "verify/equiv.hpp"
 #include "verify/hb.hpp"
 #include "verify/lint.hpp"
+#include "verify/tagspace.hpp"
 #include "verify/verifier.hpp"
 
 namespace bsb::verify {
@@ -486,6 +494,295 @@ TEST(Verifier, AgreesWithOracleUnderSabotage) {
         << fuzz::to_string(v) << ": oracle " << oracle.detail << " vs "
         << sym.summary();
   }
+}
+
+// -------------------------------------------------- rotation equivalence
+
+bool has_failure_prefix(const CaseResult& res, const std::string& pre) {
+  for (const std::string& f : res.failures) {
+    if (f.rfind(pre, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(Rotation, ProvenForEveryCheckableVariantAcrossAllRoots) {
+  for (const auto v :
+       {fuzz::Variant::BcastBinomial, fuzz::Variant::BcastScatterRd,
+        fuzz::Variant::BcastScatterRingNative,
+        fuzz::Variant::BcastScatterRingTuned, fuzz::Variant::BcastAuto,
+        fuzz::Variant::BcastPersistent, fuzz::Variant::AllgatherRingNative,
+        fuzz::Variant::AllgatherRingTuned}) {
+    const int P = fuzz::fit_ranks(v, 9);  // 9, or 8 for the pow2 variants
+    for (int root = 0; root < P; ++root) {
+      fuzz::FuzzCase c;
+      c.variant = v;
+      c.nranks = P;
+      c.root = root;
+      c.nbytes = 12288;
+      c = fuzz::normalize_case(c);
+      const CaseResult res = verify_case(c);
+      EXPECT_TRUE(res.ok) << res.summary();
+      EXPECT_TRUE(res.rotation_checked) << fuzz::to_string(v);
+      EXPECT_TRUE(res.rotation_full_graph) << fuzz::to_string(v);
+      EXPECT_GT(res.rotation_steps, 0u) << fuzz::to_string(v);
+    }
+  }
+}
+
+TEST(Rotation, SwappedPeerInCachedPlanYieldsMinimalWitness) {
+  fuzz::FuzzCase c;
+  c.variant = fuzz::Variant::BcastScatterRingTuned;
+  c.nranks = 9;
+  c.root = 4;
+  c.nbytes = 12288;
+  c = fuzz::normalize_case(c);
+  const trace::Schedule fresh =
+      trace::record_schedule(c.nranks, c.nbytes, fuzz::make_rank_body(c));
+  fuzz::FuzzCase canonical = c;
+  canonical.root = 0;
+  coll::Plan plan =
+      coll::compile_plan(c.nranks, c.nbytes, 0, "bcast-scatter-ring-tuned",
+                         fuzz::make_rank_body(canonical));
+
+  // The honest plan proves equivalent, matchings included.
+  const RotationReport good = prove_plan_rotation(plan, c.root, fresh);
+  EXPECT_TRUE(good.ok) << good.to_string();
+  EXPECT_TRUE(good.full_graph_checked);
+  EXPECT_EQ(good.plan_fingerprint, plan.fingerprint());
+
+  // Swap one Send peer: the witness must name the exact rank/step/field.
+  bool swapped = false;
+  for (auto& steps : plan.steps) {
+    for (auto& step : steps) {
+      if (step.kind == coll::PlanStep::Kind::Send) {
+        step.dst = (step.dst + 1) % plan.nranks;
+        swapped = true;
+        break;
+      }
+    }
+    if (swapped) break;
+  }
+  ASSERT_TRUE(swapped);
+  const RotationReport bad = prove_plan_rotation(plan, c.root, fresh);
+  EXPECT_FALSE(bad.ok);
+  ASSERT_TRUE(bad.divergence.has_value());
+  EXPECT_GE(bad.divergence->rank, 0);
+  EXPECT_GE(bad.divergence->step, 0);
+  EXPECT_EQ(bad.divergence->field, "dst");
+  EXPECT_NE(bad.plan_fingerprint, good.plan_fingerprint);
+}
+
+TEST(Rotation, PlanToScheduleMatchesFreshRecordingEvenUnrotated) {
+  fuzz::FuzzCase c;
+  c.variant = fuzz::Variant::AllgatherRingTuned;
+  c.nranks = 8;
+  c.root = 0;
+  c.nbytes = 8192;
+  c = fuzz::normalize_case(c);
+  const trace::Schedule fresh =
+      trace::record_schedule(c.nranks, c.nbytes, fuzz::make_rank_body(c));
+  const coll::Plan plan =
+      coll::compile_plan(c.nranks, c.nbytes, 0, "allgather-ring-tuned",
+                         fuzz::make_rank_body(c));
+  const trace::Schedule expanded = coll::plan_to_schedule(plan, 0);
+  ASSERT_EQ(expanded.nranks, fresh.nranks);
+  EXPECT_EQ(expanded.total_ops(), fresh.total_ops());
+  EXPECT_EQ(expanded.total_send_bytes(), fresh.total_send_bytes());
+  const RotationReport rep = prove_plan_rotation(plan, 0, fresh);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+TEST(Rotation, HundredSeedsAgreeWithByteOracleAcrossAllRoots) {
+  // Rotation-equivalence PASS must imply real byte-level agreement: for
+  // every sampled broadcast case, executing the root-0 compiled plan
+  // rotated at root r on the thread backend must deliver the root's exact
+  // pattern to every rank, for every r.
+  fuzz::GeneratorOptions gen;
+  gen.max_ranks = 10;
+  gen.max_bytes = 32 * 1024;
+  gen.faults = false;
+  int exercised = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    fuzz::FuzzCase c = fuzz::sample_case(20260808, i, gen);
+    switch (c.variant) {
+      case fuzz::Variant::BcastBinomial:
+      case fuzz::Variant::BcastScatterRd:
+      case fuzz::Variant::BcastScatterRingNative:
+      case fuzz::Variant::BcastScatterRingTuned:
+        break;
+      default:
+        continue;  // not a plan-compilable broadcast draw
+    }
+    ++exercised;
+    fuzz::FuzzCase canonical = c;
+    canonical.root = 0;
+    canonical = fuzz::normalize_case(canonical);
+    const coll::Plan plan =
+        coll::compile_plan(canonical.nranks, canonical.nbytes, 0,
+                           fuzz::to_string(canonical.variant),
+                           fuzz::make_rank_body(canonical));
+    for (int root = 0; root < canonical.nranks; ++root) {
+      fuzz::FuzzCase rotated = canonical;
+      rotated.root = root;
+      rotated = fuzz::normalize_case(rotated);
+      const CaseResult res = verify_case(rotated);
+      ASSERT_TRUE(res.rotation_checked) << describe(rotated);
+      ASSERT_TRUE(res.ok) << res.summary();
+      const std::uint64_t seed =
+          0xB0A5'0000u + i * 131 + static_cast<std::uint64_t>(root);
+      mpisim::World world(canonical.nranks);
+      world.run([&](mpisim::ThreadComm& comm) {
+        std::vector<std::byte> buf(canonical.nbytes);
+        if (comm.rank() == root) fill_pattern(buf, seed);
+        coll::execute_plan_rank(comm, plan, comm.rank(), buf, root);
+        const std::size_t bad = first_pattern_mismatch(buf, seed);
+        EXPECT_EQ(bad, buf.size())
+            << describe(rotated) << ": rank " << comm.rank()
+            << " first mismatch at byte " << bad;
+      });
+    }
+  }
+  EXPECT_GE(exercised, 10) << "generator drift: too few broadcast draws";
+}
+
+// ------------------------------------------------------- tag-space lint
+
+TEST(TagSpace, RegisteredTagsProveCleanOverFullContextRange) {
+  const TagSpaceReport rep = lint_tag_space();
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(rep.contexts, coll::tags::kMaxCtx);
+  EXPECT_EQ(rep.contexts, 2046);
+  EXPECT_GE(rep.base_tags, 21);
+  EXPECT_GT(rep.checks, 0u);
+  // Largest possible remapped tag stays below the barrier/namespace tag.
+  EXPECT_GE(rep.max_remapped, 0);
+  EXPECT_LT(rep.max_remapped, kMaxUserTag);
+  EXPECT_TRUE(rep.witnesses.empty());
+}
+
+TEST(TagSpace, PlantedWideTagYieldsWindowCollisionAndRawWitnesses) {
+  TagSpaceOptions opt;
+  opt.extra_base_tags = {33};
+  const TagSpaceReport rep = lint_tag_space(opt);
+  EXPECT_FALSE(rep.ok);
+  ASSERT_FALSE(rep.witnesses.empty());
+  // The planted tag must trip the window check, collide with base tag 1
+  // across adjacent contexts (33 + 32c == 1 + 32(c+1)), and alias raw use.
+  bool window = false, collision = false, raw = false;
+  for (const std::string& w : rep.witnesses) {
+    if (w.find("outside the [0, 32) remap window") != std::string::npos) {
+      window = true;
+    }
+    if (w.find("both remap to tag") != std::string::npos) collision = true;
+    if (w.find("raw (blocking) use of base tag 33") != std::string::npos) {
+      raw = true;
+    }
+  }
+  EXPECT_TRUE(window) << lint_tag_space(opt).to_string();
+  EXPECT_TRUE(collision) << lint_tag_space(opt).to_string();
+  EXPECT_TRUE(raw) << lint_tag_space(opt).to_string();
+}
+
+// ------------------------------------------------ symbolic resource bounds
+
+TEST(Bounds, ClosedFormsDominateGreedyHighWaterPerRank) {
+  for (const auto v :
+       {fuzz::Variant::BcastBinomial, fuzz::Variant::BcastScatterRingNative,
+        fuzz::Variant::BcastScatterRingTuned,
+        fuzz::Variant::AllgatherRingNative,
+        fuzz::Variant::AllgatherRingTuned}) {
+    fuzz::FuzzCase c;
+    c.variant = v;
+    c.nranks = 9;
+    c.root = 4;
+    c.nbytes = 12288;
+    c = fuzz::normalize_case(c);
+    ASSERT_TRUE(eager_bound_checkable(v));
+    const trace::Schedule sched =
+        trace::record_schedule(c.nranks, c.nbytes, fuzz::make_rank_body(c));
+    const trace::MatchResult m = trace::match_schedule(sched);
+    for (const std::uint64_t thr : {0ull, 700ull, 1ull << 20}) {
+      const HbReport hb = analyze_hb(sched, m, HbOptions{thr});
+      ASSERT_FALSE(hb.deadlock);
+      const std::vector<std::uint64_t> bound = eager_peak_bounds(c, thr);
+      ASSERT_EQ(bound.size(), static_cast<std::size_t>(c.nranks));
+      ASSERT_EQ(hb.rank_eager_high_water.size(), bound.size());
+      for (int r = 0; r < c.nranks; ++r) {
+        EXPECT_LE(hb.rank_eager_high_water[static_cast<std::size_t>(r)],
+                  bound[static_cast<std::size_t>(r)])
+            << fuzz::to_string(v) << " rank " << r << " threshold " << thr;
+      }
+    }
+  }
+}
+
+TEST(Bounds, VerifierGatesBoundsOnCheckableVariants) {
+  fuzz::FuzzCase c;
+  c.variant = fuzz::Variant::BcastScatterRingTuned;
+  c.nranks = 10;
+  c.root = 7;
+  c.nbytes = 12288;
+  c = fuzz::normalize_case(c);
+  const CaseResult res = verify_case(c);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_TRUE(res.eager_bounds_checked);
+  EXPECT_GT(res.eager_bound_max, 0u);
+}
+
+TEST(Bounds, HierShmPoolProvenCleanOnRaggedShape) {
+  fuzz::FuzzCase c;
+  c.variant = fuzz::Variant::BcastHier;
+  c.nranks = 11;
+  c.root = 5;
+  c.nbytes = 12288;
+  c.node_sizes = {4, 4, 3};
+  c = fuzz::normalize_case(c);
+  const CaseResult res = verify_case(c);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_TRUE(res.shm_checked);
+  EXPECT_TRUE(res.eager_bounds_checked);
+  // Peak per-node single-copy residency: (largest node size - 1) * nbytes.
+  EXPECT_EQ(res.shm_peak_node_bytes, 3u * c.nbytes);
+
+  const trace::Schedule sched =
+      trace::record_schedule(c.nranks, c.nbytes, fuzz::make_rank_body(c));
+  const ShmPoolReport shm = verify_shm_pool(sched, c.node_sizes, c.root);
+  EXPECT_TRUE(shm.ok);
+  EXPECT_EQ(shm.fanout_msgs, 8u);  // one per non-leader
+  EXPECT_EQ(shm.peak_node_bytes, shm.bound_node_bytes);
+}
+
+TEST(Bounds, CrossNodeFanoutMessageYieldsShmWitness) {
+  // Hand-built: the "leader" of node 0 ships a kHierFanout message to a
+  // rank on node 1 — the simulated shm channel cannot carry it.
+  trace::Schedule sched;
+  sched.nranks = 4;
+  sched.nbytes = 256;
+  sched.ops.resize(4);
+  sched.ops[0] = {send_op(2, coll::tags::kHierFanout, 256, 0)};
+  sched.ops[2] = {recv_op(0, coll::tags::kHierFanout, 256, 0)};
+  const ShmPoolReport shm = verify_shm_pool(sched, {2, 2}, 0);
+  EXPECT_FALSE(shm.ok);
+  EXPECT_EQ(shm.fanout_msgs, 1u);
+  bool crossing = false;
+  for (const std::string& w : shm.witnesses) {
+    if (w.find("crosses nodes") != std::string::npos) crossing = true;
+  }
+  EXPECT_TRUE(crossing);
+}
+
+TEST(Bounds, DoubleFanoutSabotageTripsTheShmPoolProof) {
+  fuzz::FuzzCase c;
+  c.variant = fuzz::Variant::BcastHier;
+  c.nranks = 11;
+  c.root = 5;
+  c.nbytes = 12288;
+  c.node_sizes = {4, 4, 3};
+  c = fuzz::normalize_case(c);
+  const CaseResult res =
+      verify_case(c, VerifyOptions{}, fuzz::Sabotage::HierDoubleFanout);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(has_failure_prefix(res, "bounds: shm")) << res.summary();
 }
 
 }  // namespace

@@ -24,8 +24,13 @@
 #include <malloc.h>
 #endif
 
+#include "coll/plan.hpp"
 #include "coll/tags.hpp"
+#include "fuzz/runner.hpp"
+#include "trace/record.hpp"
 #include "trace/schedule.hpp"
+#include "verify/equiv.hpp"
+#include "verify/tagspace.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
@@ -57,7 +62,8 @@ void usage(std::ostream& os) {
         "  --selftest          sabotage + broken schedules must be caught\n"
         "  --demo-broken=KIND  verify a deliberately broken schedule and\n"
         "                      exit nonzero; KIND = cycle | race |\n"
-        "                      truncation | redundant-rs | hier-doublecopy\n";
+        "                      truncation | redundant-rs | hier-doublecopy |\n"
+        "                      rotation | tagspace\n";
 }
 
 std::vector<std::uint64_t> parse_u64_list(const std::string& val) {
@@ -171,6 +177,34 @@ bool has_failure_with_prefix(const CaseResult& res, const std::string& pre) {
   return false;
 }
 
+/// A root-canonical tuned-ring plan with ONE peer swapped (the cache-bug
+/// the rotation prover exists to catch), plus the honest root-4 recording
+/// it must be proven against.
+bsb::verify::RotationReport sabotaged_rotation_report() {
+  bsb::fuzz::FuzzCase c;
+  c.variant = bsb::fuzz::Variant::BcastScatterRingTuned;
+  c.nranks = 9;
+  c.nbytes = 12288;
+  c.root = 4;
+  c = bsb::fuzz::normalize_case(c);
+  const Schedule fresh = bsb::trace::record_schedule(
+      c.nranks, c.nbytes, bsb::fuzz::make_rank_body(c));
+  bsb::fuzz::FuzzCase canonical = c;
+  canonical.root = 0;
+  bsb::coll::Plan plan = bsb::coll::compile_plan(
+      c.nranks, c.nbytes, 0, "bcast-scatter-ring-tuned",
+      bsb::fuzz::make_rank_body(canonical));
+  for (auto& steps : plan.steps) {
+    for (auto& step : steps) {
+      if (step.kind == bsb::coll::PlanStep::Kind::Send) {
+        step.dst = (step.dst + 1) % plan.nranks;  // misroute one message
+        return bsb::verify::prove_plan_rotation(plan, c.root, fresh);
+      }
+    }
+  }
+  return bsb::verify::prove_plan_rotation(plan, c.root, fresh);
+}
+
 int run_selftest(std::ostream& out) {
   VerifyOptions structural;  // hand-built schedules have no dataflow contract
   structural.check_dataflow = false;
@@ -251,6 +285,26 @@ int run_selftest(std::ostream& out) {
   const CaseResult hier_clean = bsb::verify::verify_case(hier);
   expect(hier_clean.ok && hier_clean.redundant_bytes == 0,
          "the ragged-shape tuned hier broadcast proves zero redundant bytes");
+  expect(hier_clean.shm_checked && hier_clean.eager_bounds_checked,
+         "the hier case runs the shm-pool and eager-bound proofs");
+
+  expect(clean.rotation_checked && clean.rotation_full_graph,
+         "the clean tuned ring proves rotation equivalence (full graph)");
+
+  const bsb::verify::RotationReport rot_sab = sabotaged_rotation_report();
+  expect(!rot_sab.ok && rot_sab.divergence.has_value(),
+         "a swapped peer in the cached plan yields a divergence witness");
+  if (!rot_sab.ok) out << "    " << rot_sab.to_string() << "\n";
+
+  const bsb::verify::TagSpaceReport ts = bsb::verify::lint_tag_space();
+  expect(ts.ok, "the registered tag space passes the whole-program lint");
+
+  bsb::verify::TagSpaceOptions planted;
+  planted.extra_base_tags = {33};
+  const bsb::verify::TagSpaceReport ts_bad = bsb::verify::lint_tag_space(planted);
+  expect(!ts_bad.ok && !ts_bad.witnesses.empty(),
+         "a planted 33-wide base tag yields window and collision witnesses");
+  if (!ts_bad.witnesses.empty()) out << "    " << ts_bad.witnesses.front() << "\n";
 
   out << (bad == 0 ? "selftest: all detectors fired\n"
                    : "selftest: DETECTOR GAPS\n");
@@ -258,6 +312,24 @@ int run_selftest(std::ostream& out) {
 }
 
 int run_demo_broken(const std::string& kind, std::ostream& out) {
+  if (kind == "rotation") {
+    // A cached root-0 plan with one peer swapped: the rotated execution
+    // would misroute a message, and the prover names the exact (rank,
+    // step, field) where the rotation stops being an isomorphism.
+    const bsb::verify::RotationReport rep = sabotaged_rotation_report();
+    out << rep.to_string() << "\n";
+    return rep.ok ? 0 : 1;
+  }
+  if (kind == "tagspace") {
+    // A planted base tag of 33 (> kCtxStride - 1): it escapes the remap
+    // window, collides across adjacent contexts (33 + 32c == 1 + 32(c+1))
+    // and, used raw, aliases base tag 1 of in-flight operation #1.
+    bsb::verify::TagSpaceOptions planted;
+    planted.extra_base_tags = {33};
+    const bsb::verify::TagSpaceReport rep = bsb::verify::lint_tag_space(planted);
+    out << rep.to_string() << "\n";
+    return rep.ok ? 0 : 1;
+  }
   if (kind == "hier-doublecopy") {
     // A hier broadcast whose leaders deliver the buffer twice to every
     // non-leader: values stay correct, but the coverage pass must price
